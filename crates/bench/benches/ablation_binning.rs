@@ -1,0 +1,18 @@
+//! Ablation A1: sensitivity of the misclassification analysis to the binning
+//! scheme (paper-11 vs uniform-11 vs Chang-6).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation_binning(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("ablation_binning");
+    group.sample_size(10);
+    group.bench_function("three_schemes", |b| b.iter(|| experiments::ablation_binning(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_binning);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation A3: class-based confidence (§5.3) against Jacobsen's one-level
+//! and two-level dynamic estimators.
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation_confidence(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("ablation_confidence");
+    group.sample_size(10);
+    group.bench_function("three_estimators", |b| {
+        b.iter(|| experiments::ablation_confidence(&ctx, &data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_confidence);
+criterion_main!(benches);

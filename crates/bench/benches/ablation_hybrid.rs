@@ -1,0 +1,20 @@
+//! Ablation A2: the §5.4 classification-guided hybrid against same-budget
+//! baselines (gshare, McFarling, plain PAs / GAs).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation_hybrid(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("ablation_hybrid");
+    group.sample_size(10);
+    group.bench_function("five_predictors", |b| {
+        b.iter(|| experiments::ablation_hybrid(&ctx, &data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_hybrid);
+criterion_main!(benches);

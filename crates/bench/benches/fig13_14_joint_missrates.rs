@@ -1,0 +1,26 @@
+//! Regenerates Figures 13 and 14 (joint-class miss-rate colormaps at the
+//! optimal history per class).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::config::PredictorFamily;
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_joint_missrates(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig13_14_joint_missrates");
+    group.sample_size(10);
+    for (name, family) in [
+        ("fig13_pas", PredictorFamily::PAs),
+        ("fig14_gas", PredictorFamily::GAs),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &family, |b, &family| {
+            b.iter(|| experiments::fig13_14(&ctx, &data, family))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joint_missrates);
+criterion_main!(benches);

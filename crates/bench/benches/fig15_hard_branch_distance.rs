@@ -1,0 +1,18 @@
+//! Regenerates Figure 15 (relative distribution of the dynamic distance
+//! between consecutive 5/5-class branches, per benchmark).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hard_distances(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig15_hard_branch_distance");
+    group.sample_size(10);
+    group.bench_function("fig15", |b| b.iter(|| experiments::fig15(&ctx, &data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_hard_distances);
+criterion_main!(benches);

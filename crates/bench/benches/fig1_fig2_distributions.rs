@@ -1,0 +1,18 @@
+//! Regenerates Figures 1 and 2 (taken / transition class distributions).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_distributions(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig1_fig2_distributions");
+    group.sample_size(10);
+    group.bench_function("fig1_taken", |b| b.iter(|| experiments::fig1(&ctx, &data)));
+    group.bench_function("fig2_transition", |b| b.iter(|| experiments::fig2(&ctx, &data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figures 3 and 4 (miss rates per class at the optimal history
+//! length for each class).
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_optimal_history(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig3_fig4_optimal_history");
+    group.sample_size(10);
+    group.bench_function("fig3_taken_classes", |b| b.iter(|| experiments::fig3(&ctx, &data)));
+    group.bench_function("fig4_transition_classes", |b| b.iter(|| experiments::fig4(&ctx, &data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_history);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Figures 5–8 (class × history length miss-rate colormaps for
+//! PAs and GAs under both metrics).
+
+use btr_bench::{bench_context, bench_data};
+use btr_core::distribution::Metric;
+use btr_sim::config::PredictorFamily;
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_colormaps(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig5_to_8_colormaps");
+    group.sample_size(10);
+    let cases = [
+        ("fig5_pas_taken", PredictorFamily::PAs, Metric::TakenRate),
+        ("fig6_pas_transition", PredictorFamily::PAs, Metric::TransitionRate),
+        ("fig7_gas_taken", PredictorFamily::GAs, Metric::TakenRate),
+        ("fig8_gas_transition", PredictorFamily::GAs, Metric::TransitionRate),
+    ];
+    for (name, family, metric) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(family, metric), |b, &(family, metric)| {
+            b.iter(|| experiments::fig5_to_8(&ctx, &data, family, metric))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_colormaps);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Figures 9–12 (miss rate vs. history length curves for classes
+//! 0, 1, 9 and 10).
+
+use btr_bench::{bench_context, bench_data};
+use btr_core::distribution::Metric;
+use btr_sim::config::PredictorFamily;
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_history_curves(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("fig9_to_12_history_curves");
+    group.sample_size(10);
+    let cases = [
+        ("fig9_pas_taken", PredictorFamily::PAs, Metric::TakenRate),
+        ("fig10_pas_transition", PredictorFamily::PAs, Metric::TransitionRate),
+        ("fig11_gas_taken", PredictorFamily::GAs, Metric::TakenRate),
+        ("fig12_gas_transition", PredictorFamily::GAs, Metric::TransitionRate),
+    ];
+    for (name, family, metric) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(family, metric), |b, &(family, metric)| {
+            b.iter(|| experiments::fig9_to_12(&ctx, &data, family, metric))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_curves);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Throughput of the predictor substrate: predictions+updates per second for
+//! the paper's PAs/GAs configurations and the baseline predictors.
+
+use btr_predictors::prelude::*;
+use btr_trace::{BranchAddr, Outcome};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn synthetic_stream(n: usize) -> Vec<(BranchAddr, Outcome)> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = BranchAddr::new(0x40_0000 + ((state >> 20) & 0x3ff) * 4);
+            let outcome = Outcome::from_bool(i % 3 != 0 || (state >> 40) & 1 == 1);
+            (addr, outcome)
+        })
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let stream = synthetic_stream(100_000);
+    let mut group = c.benchmark_group("predictor_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn BranchPredictor>>)> = vec![
+        ("PAs(h=8)", Box::new(|| Box::new(TwoLevelPredictor::pas_paper(8)))),
+        ("GAs(h=12)", Box::new(|| Box::new(TwoLevelPredictor::gas_paper(12)))),
+        ("gshare(h=12)", Box::new(|| Box::new(GsharePredictor::paper_sized(12)))),
+        ("bimodal(2^17)", Box::new(|| Box::new(BimodalPredictor::paper_sized()))),
+        ("yags", Box::new(|| Box::new(YagsPredictor::paper_sized(10)))),
+        ("bimode", Box::new(|| Box::new(BiModePredictor::paper_sized(10)))),
+    ];
+    for (name, make) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stream, |b, stream| {
+            b.iter(|| {
+                let mut predictor = make();
+                let mut hits = 0u64;
+                for (addr, outcome) in stream {
+                    if predictor.access(*addr, *outcome) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Table 1 (the benchmark inventory) at bench scale.
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("table1_inventory");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| experiments::table1(&ctx, &data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

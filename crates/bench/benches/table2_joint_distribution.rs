@@ -1,0 +1,23 @@
+//! Regenerates Table 2 (joint taken/transition class distribution) and the
+//! §4.2 coverage analysis at bench scale.
+
+use btr_bench::{bench_context, bench_data};
+use btr_sim::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let ctx = bench_context();
+    let data = bench_data(&ctx);
+    let mut group = c.benchmark_group("table2_joint_distribution");
+    group.sample_size(10);
+    group.bench_function("table2", |b| {
+        b.iter(|| {
+            let (table, analysis, _) = experiments::table2(&ctx, &data);
+            (table.total_percentage(), analysis.misclassified_pas)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Throughput of synthetic workload generation (Table 1 substitute) and the
+//! CFG program interpreter.
+
+use btr_workloads::cfg::{CfgBuilder, Condition};
+use btr_workloads::spec::{Benchmark, SuiteConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_generation(c: &mut Criterion) {
+    let config = SuiteConfig::default().with_scale(1e-6).with_seed(3);
+    let expected = Benchmark::compress().scaled_dynamic_branches(&config);
+
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(expected));
+    group.bench_function("compress_scaled", |b| {
+        b.iter(|| Benchmark::compress().generate(&config))
+    });
+
+    let mut builder = CfgBuilder::new(0x40_0000);
+    builder.counted_loop(500, |outer| {
+        outer.counted_loop(8, |inner| {
+            inner.if_else(Condition::Modulo { period: 3, phase: 0 }, 1, 1);
+        });
+        outer.if_else(Condition::Random { p_taken: 0.4 }, 2, 1);
+    });
+    let program = builder.build();
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("cfg_interpreter_50k", |b| b.iter(|| program.interpret(50_000, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

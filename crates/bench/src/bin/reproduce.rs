@@ -1,0 +1,132 @@
+//! Regenerates every table and figure of the paper from the synthetic suite.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [EXPERIMENT] [--quick] [--scale FACTOR]
+//! ```
+//!
+//! `EXPERIMENT` is one of `table1`, `table2`, `fig1` … `fig15`,
+//! `ablation-binning`, `ablation-hybrid`, `ablation-confidence`, or `all`
+//! (the default). `--quick` uses a reduced benchmark subset and coarse
+//! history sweep; `--scale` overrides the workload scale factor.
+
+use btr_core::distribution::Metric;
+use btr_sim::config::PredictorFamily;
+use btr_sim::experiments::{self, ExperimentContext, SuiteData};
+use std::env;
+use std::process::ExitCode;
+
+struct Options {
+    experiment: String,
+    quick: bool,
+    scale: Option<f64>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiment = "all".to_string();
+    let mut quick = false;
+    let mut scale = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--scale" => {
+                let value = args.next().ok_or("--scale requires a value")?;
+                scale = Some(value.parse::<f64>().map_err(|_| format!("invalid scale {value:?}"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: reproduce [EXPERIMENT] [--quick] [--scale FACTOR]".to_string())
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Options {
+        experiment,
+        quick,
+        scale,
+    })
+}
+
+fn run_experiment(name: &str, ctx: &ExperimentContext, data: &SuiteData) -> Option<String> {
+    let out = match name {
+        "table1" => experiments::table1(ctx, data).1,
+        "table2" => experiments::table2(ctx, data).2,
+        "fig1" => experiments::fig1(ctx, data).1,
+        "fig2" => experiments::fig2(ctx, data).1,
+        "fig3" => experiments::fig3(ctx, data).2,
+        "fig4" => experiments::fig4(ctx, data).2,
+        "fig5" => experiments::fig5_to_8(ctx, data, PredictorFamily::PAs, Metric::TakenRate).1,
+        "fig6" => experiments::fig5_to_8(ctx, data, PredictorFamily::PAs, Metric::TransitionRate).1,
+        "fig7" => experiments::fig5_to_8(ctx, data, PredictorFamily::GAs, Metric::TakenRate).1,
+        "fig8" => experiments::fig5_to_8(ctx, data, PredictorFamily::GAs, Metric::TransitionRate).1,
+        "fig9" => experiments::fig9_to_12(ctx, data, PredictorFamily::PAs, Metric::TakenRate).1,
+        "fig10" => experiments::fig9_to_12(ctx, data, PredictorFamily::PAs, Metric::TransitionRate).1,
+        "fig11" => experiments::fig9_to_12(ctx, data, PredictorFamily::GAs, Metric::TakenRate).1,
+        "fig12" => experiments::fig9_to_12(ctx, data, PredictorFamily::GAs, Metric::TransitionRate).1,
+        "fig13" => experiments::fig13_14(ctx, data, PredictorFamily::PAs).1,
+        "fig14" => experiments::fig13_14(ctx, data, PredictorFamily::GAs).1,
+        "fig15" => experiments::fig15(ctx, data).1,
+        "ablation-binning" => experiments::ablation_binning(data).1,
+        "ablation-hybrid" => experiments::ablation_hybrid(ctx, data).1,
+        "ablation-confidence" => experiments::ablation_confidence(ctx, data).1,
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation-binning", "ablation-hybrid",
+    "ablation-confidence",
+];
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ctx = if options.quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::paper()
+    };
+    if let Some(scale) = options.scale {
+        ctx = ctx.with_scale(scale);
+    }
+    eprintln!(
+        "preparing suite: {} benchmarks, scale {}, histories 0..={} ...",
+        ctx.benchmarks.len(),
+        ctx.suite.scale,
+        ctx.histories.iter().max().copied().unwrap_or(0)
+    );
+    let data = ctx.prepare();
+    eprintln!(
+        "suite ready: {} dynamic conditional branches, {} static branches\n",
+        data.profile.total_dynamic(),
+        data.profile.static_count()
+    );
+
+    if options.experiment == "all" {
+        for name in ALL_EXPERIMENTS {
+            if let Some(out) = run_experiment(name, &ctx, &data) {
+                println!("{out}\n");
+            }
+        }
+        ExitCode::SUCCESS
+    } else if let Some(out) = run_experiment(&options.experiment, &ctx, &data) {
+        println!("{out}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "unknown experiment {:?}; valid names: {} or \"all\"",
+            options.experiment,
+            ALL_EXPERIMENTS.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

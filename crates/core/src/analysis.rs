@@ -1,0 +1,439 @@
+//! Classification analyses: easy-branch coverage, misclassification, and
+//! per-class miss-rate aggregation across history lengths.
+//!
+//! The simulation harness (`btr-sim`) produces per-branch prediction
+//! statistics for each predictor configuration; the types here fold those
+//! statistics over taken-rate, transition-rate or joint classes to produce
+//! the numbers behind the paper's Figures 3–14 and the §4.2 coverage
+//! comparison.
+
+use crate::class::{BinningScheme, ClassId};
+use crate::distribution::Metric;
+use crate::joint::JointClassTable;
+use crate::profile::ProgramProfile;
+use btr_predictors::predictor::PredictionStats;
+use btr_trace::BranchAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-branch prediction statistics for one predictor configuration, keyed by
+/// branch address.
+pub type BranchMissMap = BTreeMap<BranchAddr, PredictionStats>;
+
+/// Miss rates aggregated over the classes of one metric (one bar group of
+/// Figure 3 or Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMissRates {
+    metric: Metric,
+    scheme: BinningScheme,
+    stats: Vec<PredictionStats>,
+}
+
+impl ClassMissRates {
+    /// Aggregates per-branch statistics into per-class statistics, assigning
+    /// each branch to its class under `metric` / `scheme`.
+    pub fn aggregate(
+        profile: &ProgramProfile,
+        metric: Metric,
+        scheme: BinningScheme,
+        misses: &BranchMissMap,
+    ) -> Self {
+        let mut stats = vec![PredictionStats::new(); scheme.class_count()];
+        for branch in profile.iter() {
+            let class = match metric {
+                Metric::TakenRate => branch.taken_class(scheme),
+                Metric::TransitionRate => branch.transition_class(scheme),
+            };
+            if let (Some(class), Some(s)) = (class, misses.get(&branch.addr())) {
+                stats[class.index()].merge(s);
+            }
+        }
+        ClassMissRates {
+            metric,
+            scheme,
+            stats,
+        }
+    }
+
+    /// The metric branches were classified by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The binning scheme used.
+    pub fn scheme(&self) -> BinningScheme {
+        self.scheme
+    }
+
+    /// The aggregated statistics for one class.
+    pub fn stats(&self, class: ClassId) -> PredictionStats {
+        self.stats.get(class.index()).copied().unwrap_or_default()
+    }
+
+    /// The miss rate for one class, or `None` if no branch of that class was
+    /// simulated.
+    pub fn miss_rate(&self, class: ClassId) -> Option<f64> {
+        self.stats(class).miss_rate()
+    }
+
+    /// Miss rates for every class in order (`None` for empty classes).
+    pub fn miss_rates(&self) -> Vec<Option<f64>> {
+        self.scheme.classes().map(|c| self.miss_rate(c)).collect()
+    }
+
+    /// Overall miss rate across all classes.
+    pub fn overall_miss_rate(&self) -> Option<f64> {
+        let mut total = PredictionStats::new();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total.miss_rate()
+    }
+}
+
+/// Miss rates per (class, history length) — the colormaps of Figures 5–8 and
+/// the line plots of Figures 9–12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassHistoryMatrix {
+    metric: Metric,
+    scheme: BinningScheme,
+    history_lengths: Vec<u32>,
+    /// `rates[class][history_index]`.
+    rates: Vec<Vec<Option<f64>>>,
+}
+
+impl ClassHistoryMatrix {
+    /// Builds the matrix from one [`ClassMissRates`] per history length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty or the runs disagree on metric or scheme.
+    pub fn from_runs(runs: &[(u32, ClassMissRates)]) -> Self {
+        assert!(!runs.is_empty(), "at least one history length is required");
+        let metric = runs[0].1.metric();
+        let scheme = runs[0].1.scheme();
+        assert!(
+            runs.iter().all(|(_, r)| r.metric() == metric && r.scheme() == scheme),
+            "all runs must use the same metric and binning scheme"
+        );
+        let history_lengths: Vec<u32> = runs.iter().map(|(h, _)| *h).collect();
+        let rates = scheme
+            .classes()
+            .map(|class| runs.iter().map(|(_, r)| r.miss_rate(class)).collect())
+            .collect();
+        ClassHistoryMatrix {
+            metric,
+            scheme,
+            history_lengths,
+            rates,
+        }
+    }
+
+    /// The metric branches were classified by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The binning scheme used.
+    pub fn scheme(&self) -> BinningScheme {
+        self.scheme
+    }
+
+    /// The history lengths covered, in run order.
+    pub fn history_lengths(&self) -> &[u32] {
+        &self.history_lengths
+    }
+
+    /// The miss rate of `class` at history length `history`, if simulated.
+    pub fn miss_at(&self, class: ClassId, history: u32) -> Option<f64> {
+        let idx = self.history_lengths.iter().position(|h| *h == history)?;
+        self.rates.get(class.index())?.get(idx).copied().flatten()
+    }
+
+    /// The full row of miss rates for one class (one curve of Figures 9–12).
+    pub fn row(&self, class: ClassId) -> Vec<Option<f64>> {
+        self.rates.get(class.index()).cloned().unwrap_or_default()
+    }
+
+    /// The history length minimising the miss rate of `class`, with that
+    /// miss rate.
+    pub fn optimal_history(&self, class: ClassId) -> Option<(u32, f64)> {
+        let row = self.rates.get(class.index())?;
+        let mut best: Option<(u32, f64)> = None;
+        for (idx, rate) in row.iter().enumerate() {
+            if let Some(rate) = rate {
+                if best.map(|(_, b)| *rate < b).unwrap_or(true) {
+                    best = Some((self.history_lengths[idx], *rate));
+                }
+            }
+        }
+        best
+    }
+
+    /// Miss rate of each class at its own optimal history length
+    /// (the bars of Figures 3 and 4).
+    pub fn optimal_miss_rates(&self) -> Vec<Option<f64>> {
+        self.scheme
+            .classes()
+            .map(|c| self.optimal_history(c).map(|(_, rate)| rate))
+            .collect()
+    }
+}
+
+/// Miss rates per joint (taken, transition) cell at the per-cell optimal
+/// history length (Figures 13 and 14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointMissMatrix {
+    scheme: BinningScheme,
+    /// `rates[transition][taken]`.
+    rates: Vec<Vec<Option<f64>>>,
+}
+
+impl JointMissMatrix {
+    /// Builds the joint matrix from per-branch miss maps, one per history
+    /// length: each cell aggregates its branches at every history length and
+    /// keeps the best (minimum) miss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn from_history_runs(
+        profile: &ProgramProfile,
+        scheme: BinningScheme,
+        runs: &[(u32, BranchMissMap)],
+    ) -> Self {
+        assert!(!runs.is_empty(), "at least one history length is required");
+        let n = scheme.class_count();
+        // stats[history][transition][taken]
+        let mut per_history = vec![vec![vec![PredictionStats::new(); n]; n]; runs.len()];
+        for branch in profile.iter() {
+            let Some((taken, transition)) = branch.joint_class(scheme) else {
+                continue;
+            };
+            for (run_idx, (_, misses)) in runs.iter().enumerate() {
+                if let Some(s) = misses.get(&branch.addr()) {
+                    per_history[run_idx][transition.index()][taken.index()].merge(s);
+                }
+            }
+        }
+        let mut rates = vec![vec![None; n]; n];
+        for transition in 0..n {
+            for taken in 0..n {
+                let mut best: Option<f64> = None;
+                for h in &per_history {
+                    if let Some(rate) = h[transition][taken].miss_rate() {
+                        best = Some(best.map_or(rate, |b: f64| b.min(rate)));
+                    }
+                }
+                rates[transition][taken] = best;
+            }
+        }
+        JointMissMatrix { scheme, rates }
+    }
+
+    /// The binning scheme used.
+    pub fn scheme(&self) -> BinningScheme {
+        self.scheme
+    }
+
+    /// The (optimal-history) miss rate of one joint cell.
+    pub fn miss_at(&self, taken: ClassId, transition: ClassId) -> Option<f64> {
+        self.rates
+            .get(transition.index())
+            .and_then(|row| row.get(taken.index()))
+            .copied()
+            .flatten()
+    }
+
+    /// The worst-predicted cell and its miss rate.
+    pub fn worst_cell(&self) -> Option<(ClassId, ClassId, f64)> {
+        let mut worst: Option<(ClassId, ClassId, f64)> = None;
+        for (t_idx, row) in self.rates.iter().enumerate() {
+            for (k_idx, rate) in row.iter().enumerate() {
+                if let Some(rate) = rate {
+                    if worst.map(|(_, _, w)| *rate > w).unwrap_or(true) {
+                        worst = Some((ClassId(k_idx), ClassId(t_idx), *rate));
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// The §4.2 comparison of the two classification metrics: how much of the
+/// dynamic branch stream each metric certifies as "easy" (predictable with
+/// little or no history), and how much taken-rate classification therefore
+/// mislabels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationAnalysis {
+    /// Coverage (percent of dynamic branches) of the taken-rate easy classes
+    /// (0 and 10): the paper reports 62.90%.
+    pub taken_easy_coverage: f64,
+    /// Coverage of transition-rate classes 0–1 (easy for GAs): 71.62%.
+    pub transition_easy_coverage_gas: f64,
+    /// Coverage of transition-rate classes 0, 1, 9, 10 (easy for PAs): 72.19%.
+    pub transition_easy_coverage_pas: f64,
+    /// Dynamic branches misclassified as hard by taken rate, GAs view: 8.72%.
+    pub misclassified_gas: f64,
+    /// Dynamic branches misclassified as hard by taken rate, PAs view: 9.29%.
+    pub misclassified_pas: f64,
+}
+
+impl ClassificationAnalysis {
+    /// Computes the comparison from a joint class table.
+    pub fn from_table(table: &JointClassTable) -> Self {
+        let scheme = table.scheme();
+        let taken_easy = scheme.taken_easy_classes();
+        let gas_easy = scheme.transition_easy_classes_gas();
+        let pas_easy = scheme.transition_easy_classes_pas();
+        ClassificationAnalysis {
+            taken_easy_coverage: table.taken_coverage(&taken_easy),
+            transition_easy_coverage_gas: table.transition_coverage(&gas_easy),
+            transition_easy_coverage_pas: table.transition_coverage(&pas_easy),
+            misclassified_gas: table.misclassified_percent(&gas_easy, &taken_easy),
+            misclassified_pas: table.misclassified_percent(&pas_easy, &taken_easy),
+        }
+    }
+
+    /// Relative improvement of PAs-view transition classification over taken
+    /// classification (the paper quotes "almost a 15% improvement").
+    pub fn relative_improvement_pas(&self) -> f64 {
+        if self.taken_easy_coverage == 0.0 {
+            0.0
+        } else {
+            self.misclassified_pas / self.taken_easy_coverage * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BranchProfile;
+
+    fn profile_with(branches: &[(u64, u64, u64, u64)]) -> ProgramProfile {
+        branches
+            .iter()
+            .map(|(addr, execs, taken, trans)| {
+                BranchProfile::new(BranchAddr::new(*addr), *execs, *taken, *trans)
+            })
+            .collect()
+    }
+
+    fn miss_map(entries: &[(u64, u64, u64)]) -> BranchMissMap {
+        entries
+            .iter()
+            .map(|(addr, lookups, hits)| {
+                let mut s = PredictionStats::new();
+                for i in 0..*lookups {
+                    s.record(i < *hits);
+                }
+                (BranchAddr::new(*addr), s)
+            })
+            .collect()
+    }
+
+    fn sample_profile() -> ProgramProfile {
+        profile_with(&[
+            (0x10, 100, 97, 4),   // (10, 0) easy
+            (0x20, 100, 50, 50),  // (5, 5) hard
+            (0x30, 100, 50, 97),  // (5, 10) alternator
+        ])
+    }
+
+    #[test]
+    fn class_miss_rates_aggregate_by_class() {
+        let profile = sample_profile();
+        let misses = miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 95)]);
+        let scheme = BinningScheme::Paper11;
+        let by_taken =
+            ClassMissRates::aggregate(&profile, Metric::TakenRate, scheme, &misses);
+        // Class 10 contains only the biased branch.
+        assert!((by_taken.miss_rate(ClassId(10)).unwrap() - 0.02).abs() < 1e-9);
+        // Class 5 pools the hard branch and the alternator: (48 + 5) / 200.
+        assert!((by_taken.miss_rate(ClassId(5)).unwrap() - 53.0 / 200.0).abs() < 1e-9);
+        assert_eq!(by_taken.miss_rate(ClassId(3)), None);
+
+        let by_transition =
+            ClassMissRates::aggregate(&profile, Metric::TransitionRate, scheme, &misses);
+        // Transition class 10 isolates the alternator: 5/100.
+        assert!((by_transition.miss_rate(ClassId(10)).unwrap() - 0.05).abs() < 1e-9);
+        assert!((by_transition.overall_miss_rate().unwrap() - 55.0 / 300.0).abs() < 1e-9);
+        assert_eq!(by_transition.miss_rates().len(), 11);
+    }
+
+    #[test]
+    fn class_history_matrix_tracks_optima() {
+        let profile = sample_profile();
+        let scheme = BinningScheme::Paper11;
+        // History 0: alternator is terrible. History 2: alternator is great.
+        let h0 = ClassMissRates::aggregate(
+            &profile,
+            Metric::TransitionRate,
+            scheme,
+            &miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 2)]),
+        );
+        let h2 = ClassMissRates::aggregate(
+            &profile,
+            Metric::TransitionRate,
+            scheme,
+            &miss_map(&[(0x10, 100, 96), (0x20, 100, 52), (0x30, 100, 98)]),
+        );
+        let matrix = ClassHistoryMatrix::from_runs(&[(0, h0), (2, h2)]);
+        assert_eq!(matrix.history_lengths(), &[0, 2]);
+        assert!((matrix.miss_at(ClassId(10), 0).unwrap() - 0.98).abs() < 1e-9);
+        assert!((matrix.miss_at(ClassId(10), 2).unwrap() - 0.02).abs() < 1e-9);
+        let (best_h, best_rate) = matrix.optimal_history(ClassId(10)).unwrap();
+        assert_eq!(best_h, 2);
+        assert!((best_rate - 0.02).abs() < 1e-9);
+        // Class 0 (the biased branch) prefers zero history here.
+        let (best_h0, _) = matrix.optimal_history(ClassId(0)).unwrap();
+        assert_eq!(best_h0, 0);
+        assert_eq!(matrix.optimal_miss_rates().len(), 11);
+        assert_eq!(matrix.miss_at(ClassId(10), 7), None);
+        assert_eq!(matrix.row(ClassId(3)), vec![None, None]);
+    }
+
+    #[test]
+    fn joint_miss_matrix_finds_the_hard_centre() {
+        let profile = sample_profile();
+        let scheme = BinningScheme::Paper11;
+        let runs = vec![
+            (0u32, miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 2)])),
+            (2u32, miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 97)])),
+        ];
+        let matrix = JointMissMatrix::from_history_runs(&profile, scheme, &runs);
+        // The 5/5 cell keeps its best (still bad) rate.
+        assert!((matrix.miss_at(ClassId(5), ClassId(5)).unwrap() - 0.48).abs() < 1e-9);
+        // The alternator cell takes the history-2 rate.
+        assert!((matrix.miss_at(ClassId(5), ClassId(10)).unwrap() - 0.03).abs() < 1e-9);
+        let (taken, transition, rate) = matrix.worst_cell().unwrap();
+        assert_eq!((taken, transition), (ClassId(5), ClassId(5)));
+        assert!(rate > 0.4);
+        assert_eq!(matrix.miss_at(ClassId(3), ClassId(3)), None);
+        assert_eq!(matrix.scheme(), scheme);
+    }
+
+    #[test]
+    fn classification_analysis_matches_hand_computation() {
+        let profile = sample_profile();
+        let table = JointClassTable::from_profile(&profile, BinningScheme::Paper11);
+        let analysis = ClassificationAnalysis::from_table(&table);
+        // Taken-easy covers only the biased branch: 1/3 of executions.
+        assert!((analysis.taken_easy_coverage - 100.0 / 3.0).abs() < 1e-9);
+        // Transition classes 0-1 also cover only the biased branch.
+        assert!((analysis.transition_easy_coverage_gas - 100.0 / 3.0).abs() < 1e-9);
+        // PAs view additionally captures the alternator.
+        assert!((analysis.transition_easy_coverage_pas - 200.0 / 3.0).abs() < 1e-9);
+        assert!((analysis.misclassified_pas - 100.0 / 3.0).abs() < 1e-9);
+        assert!((analysis.misclassified_gas - 0.0).abs() < 1e-9);
+        assert!(analysis.relative_improvement_pas() > 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one history length")]
+    fn empty_matrix_runs_rejected() {
+        let _ = ClassHistoryMatrix::from_runs(&[]);
+    }
+}

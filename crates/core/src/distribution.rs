@@ -1,0 +1,181 @@
+//! Dynamic-weighted class distributions (the paper's Figures 1 and 2).
+
+use crate::class::{BinningScheme, ClassId};
+use crate::profile::ProgramProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two metrics a distribution or matrix is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Chang et al.'s taken rate (bias).
+    TakenRate,
+    /// The paper's transition rate.
+    TransitionRate,
+}
+
+impl Metric {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::TakenRate => "taken rate",
+            Metric::TransitionRate => "transition rate",
+        }
+    }
+}
+
+/// The percentage of dynamic branch executions falling in each class of one
+/// metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDistribution {
+    metric: Metric,
+    scheme: BinningScheme,
+    /// Dynamic execution counts per class.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ClassDistribution {
+    /// Computes the distribution of `metric` over `profile` under `scheme`,
+    /// weighting each static branch by its dynamic execution count (as the
+    /// paper's figures do).
+    pub fn from_profile(profile: &ProgramProfile, metric: Metric, scheme: BinningScheme) -> Self {
+        let mut counts = vec![0u64; scheme.class_count()];
+        let mut total = 0u64;
+        for branch in profile.iter() {
+            let class = match metric {
+                Metric::TakenRate => branch.taken_class(scheme),
+                Metric::TransitionRate => branch.transition_class(scheme),
+            };
+            if let Some(class) = class {
+                counts[class.index()] += branch.executions();
+                total += branch.executions();
+            }
+        }
+        ClassDistribution {
+            metric,
+            scheme,
+            counts,
+            total,
+        }
+    }
+
+    /// The metric this distribution is over.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The binning scheme used.
+    pub fn scheme(&self) -> BinningScheme {
+        self.scheme
+    }
+
+    /// Total dynamic executions counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dynamic execution count in one class.
+    pub fn count(&self, class: ClassId) -> u64 {
+        self.counts.get(class.index()).copied().unwrap_or(0)
+    }
+
+    /// Percentage of dynamic executions in one class.
+    pub fn percent(&self, class: ClassId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// All class percentages in order (the bars of Figure 1 / Figure 2).
+    pub fn percentages(&self) -> Vec<f64> {
+        self.scheme.classes().map(|c| self.percent(c)).collect()
+    }
+
+    /// Sum of the percentages of the given classes.
+    pub fn coverage(&self, classes: &[ClassId]) -> f64 {
+        classes.iter().map(|c| self.percent(*c)).sum()
+    }
+
+    /// The class with the largest dynamic share.
+    pub fn dominant_class(&self) -> Option<ClassId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| ClassId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BranchProfile;
+    use btr_trace::BranchAddr;
+
+    fn profile_with(branches: &[(u64, u64, u64, u64)]) -> ProgramProfile {
+        branches
+            .iter()
+            .map(|(addr, execs, taken, trans)| {
+                BranchProfile::new(BranchAddr::new(*addr), *execs, *taken, *trans)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distribution_weights_by_dynamic_count() {
+        // One heavily executed always-taken branch and one lightly executed
+        // 50/50 branch.
+        let profile = profile_with(&[(0x10, 900, 900, 0), (0x20, 100, 50, 50)]);
+        let scheme = BinningScheme::Paper11;
+        let taken = ClassDistribution::from_profile(&profile, Metric::TakenRate, scheme);
+        assert_eq!(taken.total(), 1000);
+        assert!((taken.percent(ClassId(10)) - 90.0).abs() < 1e-9);
+        assert!((taken.percent(ClassId(5)) - 10.0).abs() < 1e-9);
+        assert_eq!(taken.dominant_class(), Some(ClassId(10)));
+
+        let transition =
+            ClassDistribution::from_profile(&profile, Metric::TransitionRate, scheme);
+        assert!((transition.percent(ClassId(0)) - 90.0).abs() < 1e-9);
+        assert!((transition.percent(ClassId(5)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentages_sum_to_100_for_nonempty_profiles() {
+        let profile = profile_with(&[
+            (0x10, 10, 1, 1),
+            (0x20, 30, 29, 1),
+            (0x30, 60, 30, 59),
+        ]);
+        for metric in [Metric::TakenRate, Metric::TransitionRate] {
+            let d = ClassDistribution::from_profile(&profile, metric, BinningScheme::Paper11);
+            let sum: f64 = d.percentages().iter().sum();
+            assert!((sum - 100.0).abs() < 1e-9, "{metric:?} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn coverage_sums_selected_classes() {
+        let profile = profile_with(&[(0x10, 50, 1, 1), (0x20, 50, 49, 1)]);
+        let scheme = BinningScheme::Paper11;
+        let d = ClassDistribution::from_profile(&profile, Metric::TakenRate, scheme);
+        let easy = d.coverage(&scheme.taken_easy_classes());
+        assert!((easy - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_yields_zero_distribution() {
+        let d = ClassDistribution::from_profile(
+            &ProgramProfile::new(),
+            Metric::TakenRate,
+            BinningScheme::Paper11,
+        );
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.percent(ClassId(0)), 0.0);
+        assert_eq!(d.dominant_class(), None);
+        assert_eq!(d.metric().label(), "taken rate");
+        assert_eq!(d.scheme(), BinningScheme::Paper11);
+    }
+}

@@ -1,0 +1,211 @@
+//! Predication and dual-path candidate selection (the paper's §5.2).
+//!
+//! The paper argues that the hard 5/5 branches are the right targets for
+//! non-predictive techniques: predicating them removes mispredictions at a
+//! modest instruction-count cost because their dynamic occurrence is low,
+//! whereas predicating strongly biased branches (taken/transition class 1/1,
+//! for example) would inflate the instruction count for no benefit.
+
+use crate::class::BinningScheme;
+use crate::profile::{BranchProfile, ProgramProfile};
+use btr_trace::BranchAddr;
+use serde::{Deserialize, Serialize};
+
+/// Why a branch was or was not recommended for predication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicationVerdict {
+    /// Hard to predict and cheap to predicate: a good candidate.
+    Recommend,
+    /// Predictable enough that predication would only add instructions.
+    TooPredictable,
+    /// So frequently executed that predicating both arms would noticeably
+    /// lengthen the program.
+    TooFrequent,
+}
+
+/// One scored predication candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredicationCandidate {
+    /// The branch address.
+    pub addr: BranchAddr,
+    /// Expected mispredictions avoided per execution of the branch
+    /// (approximated by the distance of its rates from predictability).
+    pub benefit: f64,
+    /// The branch's share of all dynamic branch executions (the cost proxy).
+    pub dynamic_weight: f64,
+    /// The final verdict.
+    pub verdict: PredicationVerdict,
+}
+
+/// Policy knobs for candidate selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredicationPolicy {
+    /// Rates closer to 50% than this distance count as hard to predict.
+    pub hardness_threshold: f64,
+    /// Branches with more than this share of dynamic executions are rejected
+    /// as too frequent to predicate.
+    pub max_dynamic_weight: f64,
+}
+
+impl Default for PredicationPolicy {
+    fn default() -> Self {
+        PredicationPolicy {
+            hardness_threshold: 0.15,
+            max_dynamic_weight: 0.05,
+        }
+    }
+}
+
+/// Scores every profiled branch against the policy.
+pub fn select_candidates(
+    profile: &ProgramProfile,
+    _scheme: BinningScheme,
+    policy: PredicationPolicy,
+) -> Vec<PredicationCandidate> {
+    let mut candidates: Vec<PredicationCandidate> = profile
+        .iter()
+        .filter_map(|b| score_branch(b, profile, policy))
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.benefit
+            .partial_cmp(&a.benefit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.addr.cmp(&b.addr))
+    });
+    candidates
+}
+
+fn score_branch(
+    branch: &BranchProfile,
+    profile: &ProgramProfile,
+    policy: PredicationPolicy,
+) -> Option<PredicationCandidate> {
+    let taken = branch.taken_rate()?;
+    let transition = branch.transition_rate()?;
+    let distance = taken
+        .distance_from_even()
+        .max(transition.distance_from_even());
+    // Expected misprediction rate of a well-tuned predictor is roughly the
+    // minority share capped by how structured the branch is; use the distance
+    // from 50% as an inverse proxy.
+    let benefit = (0.5 - distance).max(0.0);
+    let dynamic_weight = profile.dynamic_weight(branch.addr());
+    let verdict = if distance >= policy.hardness_threshold {
+        PredicationVerdict::TooPredictable
+    } else if dynamic_weight > policy.max_dynamic_weight {
+        PredicationVerdict::TooFrequent
+    } else {
+        PredicationVerdict::Recommend
+    };
+    Some(PredicationCandidate {
+        addr: branch.addr(),
+        benefit,
+        dynamic_weight,
+        verdict,
+    })
+}
+
+/// Summary of a candidate selection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredicationSummary {
+    /// Number of branches recommended for predication.
+    pub recommended: usize,
+    /// Their combined share of dynamic executions.
+    pub recommended_dynamic_percent: f64,
+    /// Estimated mispredictions avoided per 100 dynamic branches, assuming
+    /// each recommended branch previously missed at its benefit rate.
+    pub avoided_misses_per_100: f64,
+}
+
+impl PredicationSummary {
+    /// Summarises a candidate list.
+    pub fn from_candidates(candidates: &[PredicationCandidate]) -> Self {
+        let recommended: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.verdict == PredicationVerdict::Recommend)
+            .collect();
+        let recommended_dynamic_percent: f64 =
+            recommended.iter().map(|c| c.dynamic_weight * 100.0).sum();
+        let avoided_misses_per_100: f64 = recommended
+            .iter()
+            .map(|c| c.benefit * c.dynamic_weight * 100.0)
+            .sum();
+        PredicationSummary {
+            recommended: recommended.len(),
+            recommended_dynamic_percent,
+            avoided_misses_per_100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BranchProfile;
+
+    fn profile() -> ProgramProfile {
+        vec![
+            // Hard, rare: ideal predication target.
+            BranchProfile::new(BranchAddr::new(0x10), 20, 10, 10),
+            // Hard but extremely frequent: too costly.
+            BranchProfile::new(BranchAddr::new(0x20), 900, 450, 449),
+            // Strongly biased: pointless to predicate.
+            BranchProfile::new(BranchAddr::new(0x30), 80, 78, 3),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn verdicts_follow_the_papers_reasoning() {
+        let candidates =
+            select_candidates(&profile(), BinningScheme::Paper11, PredicationPolicy::default());
+        assert_eq!(candidates.len(), 3);
+        let by_addr = |a: u64| {
+            candidates
+                .iter()
+                .find(|c| c.addr == BranchAddr::new(a))
+                .copied()
+                .unwrap()
+        };
+        assert_eq!(by_addr(0x10).verdict, PredicationVerdict::Recommend);
+        assert_eq!(by_addr(0x20).verdict, PredicationVerdict::TooFrequent);
+        assert_eq!(by_addr(0x30).verdict, PredicationVerdict::TooPredictable);
+        // Candidates are sorted by benefit: hard branches first.
+        assert!(candidates[0].benefit >= candidates[2].benefit);
+    }
+
+    #[test]
+    fn summary_counts_recommended_branches() {
+        let candidates =
+            select_candidates(&profile(), BinningScheme::Paper11, PredicationPolicy::default());
+        let summary = PredicationSummary::from_candidates(&candidates);
+        assert_eq!(summary.recommended, 1);
+        assert!(summary.recommended_dynamic_percent > 0.0);
+        assert!(summary.recommended_dynamic_percent < 5.0);
+        assert!(summary.avoided_misses_per_100 > 0.0);
+    }
+
+    #[test]
+    fn lenient_policy_accepts_more_branches() {
+        let lenient = PredicationPolicy {
+            hardness_threshold: 0.15,
+            max_dynamic_weight: 1.0,
+        };
+        let candidates = select_candidates(&profile(), BinningScheme::Paper11, lenient);
+        let summary = PredicationSummary::from_candidates(&candidates);
+        assert_eq!(summary.recommended, 2);
+    }
+
+    #[test]
+    fn empty_profile_yields_no_candidates() {
+        let candidates = select_candidates(
+            &ProgramProfile::new(),
+            BinningScheme::Paper11,
+            PredicationPolicy::default(),
+        );
+        assert!(candidates.is_empty());
+        let summary = PredicationSummary::from_candidates(&candidates);
+        assert_eq!(summary, PredicationSummary::default());
+    }
+}

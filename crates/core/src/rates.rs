@@ -1,0 +1,126 @@
+//! The two branch-behaviour metrics of the paper: taken rate and transition
+//! rate, as validated newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! rate_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a rate, validating it lies in `[0, 1]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is outside `[0, 1]` or not finite.
+            pub fn new(value: f64) -> Self {
+                assert!(
+                    value.is_finite() && (0.0..=1.0).contains(&value),
+                    concat!(stringify!($name), " must be a finite value in [0, 1], got {}"),
+                    value
+                );
+                $name(value)
+            }
+
+            /// Creates a rate from a count out of a total, returning `None`
+            /// when the total is zero.
+            pub fn from_counts(count: u64, total: u64) -> Option<Self> {
+                if total == 0 {
+                    None
+                } else {
+                    Some($name::new(count as f64 / total as f64))
+                }
+            }
+
+            /// The underlying value in `[0, 1]`.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The value expressed as a percentage in `[0, 100]`.
+            pub fn percent(self) -> f64 {
+                self.0 * 100.0
+            }
+
+            /// Distance from the 50% point, in `[0, 0.5]` — a measure of how
+            /// strongly the branch is biased under this metric.
+            pub fn distance_from_even(self) -> f64 {
+                (self.0 - 0.5).abs()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.2}%", self.percent())
+            }
+        }
+    };
+}
+
+rate_newtype!(
+    /// Fraction of a branch's dynamic executions that were taken
+    /// (Chang et al.'s bias metric).
+    TakenRate
+);
+
+rate_newtype!(
+    /// Fraction of a branch's dynamic executions that changed direction with
+    /// respect to the immediately preceding execution of the same branch —
+    /// the metric this paper introduces.
+    TransitionRate
+);
+
+impl TakenRate {
+    /// The largest transition rate any branch with this taken rate can have:
+    /// `2·min(p, 1-p)` (each direction change needs a minority-direction
+    /// execution adjacent to it).
+    pub fn max_transition_rate(self) -> TransitionRate {
+        TransitionRate::new(2.0 * self.0.min(1.0 - self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = TakenRate::new(0.75);
+        assert_eq!(t.value(), 0.75);
+        assert_eq!(t.percent(), 75.0);
+        assert_eq!(t.distance_from_even(), 0.25);
+        assert_eq!(format!("{t}"), "75.00%");
+        let x = TransitionRate::new(0.0);
+        assert_eq!(x.percent(), 0.0);
+    }
+
+    #[test]
+    fn from_counts_handles_zero_total() {
+        assert_eq!(TakenRate::from_counts(3, 4), Some(TakenRate::new(0.75)));
+        assert_eq!(TakenRate::from_counts(0, 0), None);
+        assert_eq!(TransitionRate::from_counts(1, 2), Some(TransitionRate::new(0.5)));
+    }
+
+    #[test]
+    fn max_transition_rate_is_twice_the_minority_share() {
+        assert!((TakenRate::new(0.9).max_transition_rate().value() - 0.2).abs() < 1e-12);
+        assert!((TakenRate::new(0.1).max_transition_rate().value() - 0.2).abs() < 1e-12);
+        assert!((TakenRate::new(0.5).max_transition_rate().value() - 1.0).abs() < 1e-12);
+        assert_eq!(TakenRate::new(1.0).max_transition_rate().value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a finite value")]
+    fn out_of_range_rate_rejected() {
+        let _ = TakenRate::new(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a finite value")]
+    fn nan_rejected() {
+        let _ = TransitionRate::new(f64::NAN);
+    }
+}

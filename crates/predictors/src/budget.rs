@@ -1,0 +1,139 @@
+//! Hardware budget accounting.
+//!
+//! The paper constrains every predictor configuration to 32 K bytes of
+//! predictor state so that comparisons across history lengths are fair. This
+//! module provides a small helper for expressing such budgets and checking
+//! configurations against them.
+
+use crate::predictor::BranchPredictor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A predictor state budget expressed in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HardwareBudget {
+    bits: u64,
+}
+
+impl HardwareBudget {
+    /// A budget of `bytes` bytes.
+    pub fn from_bytes(bytes: u64) -> Self {
+        HardwareBudget { bits: bytes * 8 }
+    }
+
+    /// A budget of `kib` kibibytes.
+    pub fn from_kib(kib: u64) -> Self {
+        HardwareBudget::from_bytes(kib * 1024)
+    }
+
+    /// The paper's 32 KB budget.
+    pub fn paper() -> Self {
+        HardwareBudget::from_kib(32)
+    }
+
+    /// Budget size in bits.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Budget size in bytes (rounded down).
+    pub fn bytes(self) -> u64 {
+        self.bits / 8
+    }
+
+    /// Whether `used_bits` fits within this budget.
+    pub fn fits_bits(self, used_bits: u64) -> bool {
+        used_bits <= self.bits
+    }
+
+    /// Whether a predictor's declared storage fits within this budget.
+    pub fn fits<P: BranchPredictor + ?Sized>(self, predictor: &P) -> bool {
+        self.fits_bits(predictor.storage_bits())
+    }
+
+    /// The unused portion of the budget, in bits, given `used_bits` of state
+    /// (zero if over budget).
+    pub fn slack_bits(self, used_bits: u64) -> u64 {
+        self.bits.saturating_sub(used_bits)
+    }
+
+    /// Fraction of the budget consumed by `used_bits` (may exceed 1).
+    pub fn utilisation(self, used_bits: u64) -> f64 {
+        used_bits as f64 / self.bits as f64
+    }
+
+    /// The largest power-of-two entry count of `entry_bits`-wide entries that
+    /// fits in this budget (used to size tables the way the paper does).
+    ///
+    /// Returns the log2 of the entry count, or `None` if not even one entry
+    /// fits or `entry_bits` is zero.
+    pub fn max_pow2_entries(self, entry_bits: u64) -> Option<u32> {
+        if entry_bits == 0 || self.bits < entry_bits {
+            return None;
+        }
+        let entries = self.bits / entry_bits;
+        Some(63 - entries.leading_zeros() as u32).map(|x| x.min(63))
+    }
+}
+
+impl fmt::Display for HardwareBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.bytes();
+        if bytes >= 1024 && bytes % 1024 == 0 {
+            write!(f, "{} KiB", bytes / 1024)
+        } else {
+            write!(f, "{bytes} B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bimodal::BimodalPredictor;
+    use crate::twolevel::TwoLevelPredictor;
+
+    #[test]
+    fn unit_conversions() {
+        let b = HardwareBudget::from_kib(32);
+        assert_eq!(b.bytes(), 32 * 1024);
+        assert_eq!(b.bits(), 32 * 1024 * 8);
+        assert_eq!(HardwareBudget::paper(), b);
+        assert_eq!(b.to_string(), "32 KiB");
+        assert_eq!(HardwareBudget::from_bytes(100).to_string(), "100 B");
+    }
+
+    #[test]
+    fn paper_predictors_fit_the_paper_budget() {
+        let budget = HardwareBudget::paper();
+        for k in 0..=16 {
+            assert!(budget.fits(&TwoLevelPredictor::pas_paper(k)), "PAs k={k}");
+            assert!(budget.fits(&TwoLevelPredictor::gas_paper(k)), "GAs k={k}");
+        }
+        assert!(budget.fits(&BimodalPredictor::paper_sized()));
+        // A double-size bimodal does not fit.
+        assert!(!budget.fits(&BimodalPredictor::new(18)));
+    }
+
+    #[test]
+    fn slack_and_utilisation() {
+        let b = HardwareBudget::from_bytes(10);
+        assert_eq!(b.slack_bits(16), 64);
+        assert_eq!(b.slack_bits(200), 0);
+        assert!((b.utilisation(40) - 0.5).abs() < 1e-12);
+        assert!(b.fits_bits(80));
+        assert!(!b.fits_bits(81));
+    }
+
+    #[test]
+    fn max_pow2_entries_matches_paper_sizing() {
+        // 32 KB of 2-bit counters -> 2^17 entries.
+        assert_eq!(HardwareBudget::paper().max_pow2_entries(2), Some(17));
+        // 16 KB of 2-bit counters -> 2^16 entries (PAs PHT).
+        assert_eq!(HardwareBudget::from_kib(16).max_pow2_entries(2), Some(16));
+        // 16 KB of 16-bit history registers -> 2^13 entries (PAs BHT at k=16).
+        assert_eq!(HardwareBudget::from_kib(16).max_pow2_entries(16), Some(13));
+        assert_eq!(HardwareBudget::from_bytes(1).max_pow2_entries(16), None);
+        assert_eq!(HardwareBudget::from_bytes(1).max_pow2_entries(0), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! The bias-filter predictor (Chang, Evers, Patt — PACT 1996).
+//!
+//! Each branch owns a small saturating "bias counter" that counts executions
+//! since the branch last changed direction. Once the counter saturates the
+//! branch is considered *filtered*: it is predicted with its steady direction
+//! and kept out of the dynamic second-level table, reducing interference. The
+//! paper (§2) points out that this counter is effectively a crude dynamic
+//! transition-rate classifier, which makes it an interesting baseline for the
+//! transition-rate work.
+
+use crate::counter::CappedCounter;
+use crate::gshare::GsharePredictor;
+use crate::predictor::BranchPredictor;
+use btr_trace::{BranchAddr, Outcome};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-branch filter state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct FilterEntry {
+    last_direction: Outcome,
+    run: CappedCounter,
+}
+
+/// The filter predictor: a dynamic bias filter in front of a gshare backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterPredictor {
+    threshold: u32,
+    entries: BTreeMap<BranchAddr, FilterEntry>,
+    backend: GsharePredictor,
+}
+
+impl FilterPredictor {
+    /// Creates a filter predictor.
+    ///
+    /// A branch is treated as filtered (predicted with its steady direction)
+    /// once it has gone the same way `threshold` consecutive times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, backend: GsharePredictor) -> Self {
+        assert!(threshold > 0, "filter threshold must be positive");
+        FilterPredictor {
+            threshold,
+            entries: BTreeMap::new(),
+            backend,
+        }
+    }
+
+    /// A 32 KB-budget configuration: threshold 32 in front of a 2^16 gshare.
+    pub fn paper_sized() -> Self {
+        FilterPredictor::new(32, GsharePredictor::new(16, 10))
+    }
+
+    /// Whether the branch at `addr` is currently filtered.
+    pub fn is_filtered(&self, addr: BranchAddr) -> bool {
+        self.entries
+            .get(&addr)
+            .map(|e| e.run.is_saturated())
+            .unwrap_or(false)
+    }
+
+    /// Number of branches currently tracked by the filter.
+    pub fn tracked_branches(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl BranchPredictor for FilterPredictor {
+    fn predict(&self, addr: BranchAddr) -> Outcome {
+        match self.entries.get(&addr) {
+            Some(e) if e.run.is_saturated() => e.last_direction,
+            _ => self.backend.predict(addr),
+        }
+    }
+
+    fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
+        let filtered = self.is_filtered(addr);
+        let entry = self.entries.entry(addr).or_insert(FilterEntry {
+            last_direction: outcome,
+            run: CappedCounter::new(self.threshold),
+        });
+        if entry.last_direction == outcome {
+            entry.run.increment();
+        } else {
+            // A transition: the branch loses its filtered status.
+            entry.last_direction = outcome;
+            entry.run.reset();
+        }
+        // Only unfiltered branches train (and therefore pollute) the backend.
+        if !filtered {
+            self.backend.update(addr, outcome);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("filter(t={},{})", self.threshold, self.backend.name())
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per-branch filter state: one direction bit plus a small counter.
+        let counter_bits = 32 - self.threshold.leading_zeros();
+        self.backend.storage_bits() + self.entries.len() as u64 * (1 + u64::from(counter_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_branches_become_filtered() {
+        let mut p = FilterPredictor::new(8, GsharePredictor::new(10, 4));
+        let addr = BranchAddr::new(0x400100);
+        for _ in 0..8 {
+            p.update(addr, Outcome::Taken);
+        }
+        assert!(p.is_filtered(addr));
+        assert_eq!(p.predict(addr), Outcome::Taken);
+        assert_eq!(p.tracked_branches(), 1);
+    }
+
+    #[test]
+    fn a_transition_unfilters_the_branch() {
+        let mut p = FilterPredictor::new(4, GsharePredictor::new(10, 4));
+        let addr = BranchAddr::new(0x400100);
+        for _ in 0..6 {
+            p.update(addr, Outcome::Taken);
+        }
+        assert!(p.is_filtered(addr));
+        p.update(addr, Outcome::NotTaken);
+        assert!(!p.is_filtered(addr));
+    }
+
+    #[test]
+    fn unknown_branches_fall_through_to_the_backend() {
+        let p = FilterPredictor::new(4, GsharePredictor::new(10, 4));
+        // Cold gshare counters predict not-taken.
+        assert_eq!(p.predict(BranchAddr::new(0x1234)), Outcome::NotTaken);
+        assert!(!p.is_filtered(BranchAddr::new(0x1234)));
+    }
+
+    #[test]
+    fn filtered_branches_do_not_pollute_the_backend() {
+        let mut with_filter = FilterPredictor::new(4, GsharePredictor::new(4, 0));
+        let hot = BranchAddr::new(0x10);
+        let alias = BranchAddr::new(0x10 + (16 << 2)); // same backend slot as `hot`
+        // Saturate the filter for the hot always-taken branch.
+        for _ in 0..50 {
+            with_filter.update(hot, Outcome::Taken);
+        }
+        // Now train the aliasing branch not-taken; because `hot` is filtered
+        // it no longer drags the shared counter toward taken.
+        let mut hits = 0u32;
+        for _ in 0..100 {
+            with_filter.update(hot, Outcome::Taken);
+            if with_filter.access(alias, Outcome::NotTaken) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 90, "filtering should shield the aliased branch, got {hits}");
+    }
+
+    #[test]
+    fn name_and_paper_sizing() {
+        let p = FilterPredictor::paper_sized();
+        assert!(p.name().starts_with("filter"));
+        assert!(p.storage_bits() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = FilterPredictor::new(0, GsharePredictor::new(10, 4));
+    }
+}

@@ -1,0 +1,111 @@
+//! McFarling's gshare predictor: global history XOR-folded with the branch
+//! address to index a single table of 2-bit counters.
+
+use crate::history::GlobalHistory;
+use crate::pht::PatternHistoryTable;
+use crate::predictor::BranchPredictor;
+use btr_trace::{BranchAddr, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// The gshare predictor.
+///
+/// The XOR of the global history with address bits spreads different
+/// (branch, history) pairs across the table, reducing — but not eliminating —
+/// the interference the paper's Section 2 discusses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GsharePredictor {
+    history: GlobalHistory,
+    pht: PatternHistoryTable,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor with `2^index_bits` counters and a history
+    /// register of `history_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits > index_bits` (extra history bits would be
+    /// silently discarded, which is never what an experiment wants).
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        assert!(
+            history_bits <= index_bits,
+            "gshare history ({history_bits}) must not exceed index width ({index_bits})"
+        );
+        GsharePredictor {
+            history: GlobalHistory::new(history_bits),
+            pht: PatternHistoryTable::two_bit(index_bits),
+        }
+    }
+
+    /// A 32 KB gshare (2^17 counters) with the given history length, matching
+    /// the paper's hardware budget.
+    pub fn paper_sized(history_bits: u32) -> Self {
+        GsharePredictor::new(17, history_bits)
+    }
+
+    fn index(&self, addr: BranchAddr) -> u64 {
+        addr.low_bits(self.pht.index_bits()) ^ self.history.pattern()
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&self, addr: BranchAddr) -> Outcome {
+        self.pht.predict(self.index(addr))
+    }
+
+    fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
+        let index = self.index(addr);
+        self.pht.train(index, outcome);
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!("gshare(h={},2^{})", self.history.bits(), self.pht.index_bits())
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.pht.storage_bits() + u64::from(self.history.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = GsharePredictor::new(12, 8);
+        let addr = BranchAddr::new(0x400100);
+        for _ in 0..64 {
+            p.update(addr, Outcome::Taken);
+        }
+        assert_eq!(p.predict(addr), Outcome::Taken);
+    }
+
+    #[test]
+    fn learns_alternating_branch_via_history() {
+        let mut p = GsharePredictor::new(12, 8);
+        let addr = BranchAddr::new(0x400100);
+        let mut hits = 0u32;
+        let n = 2000u32;
+        for i in 0..n {
+            if p.access(addr, Outcome::from_bool(i % 2 == 0)) {
+                hits += 1;
+            }
+        }
+        assert!(f64::from(hits) / f64::from(n) > 0.9);
+    }
+
+    #[test]
+    fn paper_sized_fits_32_kb() {
+        let p = GsharePredictor::paper_sized(12);
+        assert!(p.storage_bits() <= 32 * 1024 * 8 + 64);
+        assert!(p.name().contains("gshare"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn history_wider_than_index_is_rejected() {
+        let _ = GsharePredictor::new(10, 12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Branch-history state: a global history register and a per-address branch
+//! history table (BHT).
+
+use btr_trace::{BranchAddr, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// A shift register holding the directions of the most recent branches.
+///
+/// Bit 0 is the most recent outcome; older outcomes occupy higher bits. With a
+/// history length of zero the register always reads as pattern `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryRegister {
+    bits: u32,
+    value: u64,
+}
+
+impl HistoryRegister {
+    /// Creates a history register holding `bits` outcomes (0 ..= 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32`; the paper never needs more than 18.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits <= 32, "history length above 32 bits is not supported");
+        HistoryRegister { bits, value: 0 }
+    }
+
+    /// The configured history length in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The current history pattern (always `< 2^bits`).
+    pub fn pattern(&self) -> u64 {
+        self.value
+    }
+
+    /// Shifts a new outcome into the register.
+    pub fn push(&mut self, outcome: Outcome) {
+        if self.bits == 0 {
+            return;
+        }
+        let mask = (1u64 << self.bits) - 1;
+        self.value = ((self.value << 1) | outcome.as_bit()) & mask;
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// The global history register used by GAs/gshare-style predictors.
+pub type GlobalHistory = HistoryRegister;
+
+/// A table of per-address history registers (the first level of a PAs
+/// predictor).
+///
+/// The table is direct-mapped: a branch address selects an entry using its
+/// low-order bits, so distinct branches may alias into the same history
+/// register exactly as they would in hardware. Entry count must be a power of
+/// two (the paper sizes it as `2^lfloor log2(2^17 / k) rfloor`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchHistoryTable {
+    index_bits: u32,
+    history_bits: u32,
+    entries: Vec<HistoryRegister>,
+}
+
+impl BranchHistoryTable {
+    /// Creates a table with `2^index_bits` entries of `history_bits` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits > 28` (an absurd size) or `history_bits > 32`.
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        assert!(index_bits <= 28, "BHT larger than 2^28 entries is unsupported");
+        let entries = vec![HistoryRegister::new(history_bits); 1usize << index_bits];
+        BranchHistoryTable {
+            index_bits,
+            history_bits,
+            entries,
+        }
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries (only when `index_bits` is
+    /// zero the table still has a single entry, so this is always `false`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// History length stored per entry.
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of address bits used to index the table.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    fn index(&self, addr: BranchAddr) -> usize {
+        addr.low_bits(self.index_bits) as usize
+    }
+
+    /// Reads the history pattern associated with `addr`.
+    pub fn pattern(&self, addr: BranchAddr) -> u64 {
+        self.entries[self.index(addr)].pattern()
+    }
+
+    /// Shifts an outcome into the history register associated with `addr`.
+    pub fn push(&mut self, addr: BranchAddr, outcome: Outcome) {
+        let idx = self.index(addr);
+        self.entries[idx].push(outcome);
+    }
+
+    /// Total storage occupied by the table, in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * u64::from(self.history_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_register_shifts_and_masks() {
+        let mut h = HistoryRegister::new(3);
+        assert_eq!(h.pattern(), 0);
+        h.push(Outcome::Taken); // 001
+        h.push(Outcome::NotTaken); // 010
+        h.push(Outcome::Taken); // 101
+        assert_eq!(h.pattern(), 0b101);
+        h.push(Outcome::Taken); // 011 (oldest bit falls off)
+        assert_eq!(h.pattern(), 0b011);
+        h.clear();
+        assert_eq!(h.pattern(), 0);
+    }
+
+    #[test]
+    fn zero_length_history_is_always_zero() {
+        let mut h = HistoryRegister::new(0);
+        h.push(Outcome::Taken);
+        h.push(Outcome::Taken);
+        assert_eq!(h.pattern(), 0);
+        assert_eq!(h.bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn overlong_history_is_rejected() {
+        let _ = HistoryRegister::new(33);
+    }
+
+    #[test]
+    fn bht_separates_addresses_by_low_bits() {
+        let mut bht = BranchHistoryTable::new(4, 4);
+        let a = BranchAddr::new(0x10); // word 0x4 -> index 4
+        let b = BranchAddr::new(0x14); // word 0x5 -> index 5
+        bht.push(a, Outcome::Taken);
+        bht.push(b, Outcome::NotTaken);
+        bht.push(b, Outcome::Taken);
+        assert_eq!(bht.pattern(a), 0b1);
+        assert_eq!(bht.pattern(b), 0b01);
+    }
+
+    #[test]
+    fn bht_aliases_addresses_with_same_low_bits() {
+        let mut bht = BranchHistoryTable::new(2, 4);
+        let a = BranchAddr::new(0x10);
+        let aliased = BranchAddr::new(0x10 + (4 << 2)); // differs only above the index bits
+        bht.push(a, Outcome::Taken);
+        assert_eq!(bht.pattern(aliased), bht.pattern(a));
+    }
+
+    #[test]
+    fn bht_storage_accounting() {
+        let bht = BranchHistoryTable::new(10, 8);
+        assert_eq!(bht.len(), 1024);
+        assert_eq!(bht.storage_bits(), 1024 * 8);
+        assert!(!bht.is_empty());
+        assert_eq!(bht.index_bits(), 10);
+        assert_eq!(bht.history_bits(), 8);
+    }
+}

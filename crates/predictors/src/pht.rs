@@ -1,0 +1,122 @@
+//! Pattern history tables: direct-mapped arrays of saturating counters.
+
+use crate::counter::SaturatingCounter;
+use btr_trace::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// A direct-mapped table of saturating counters indexed by a pattern/address
+/// hash computed by the enclosing predictor.
+///
+/// The paper's GAs configuration uses a PHT of `2^17` 2-bit counters (32 KB);
+/// PAs uses `2^16` 2-bit counters (16 KB) with the rest of the budget spent on
+/// the per-address history table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternHistoryTable {
+    index_bits: u32,
+    counters: Vec<SaturatingCounter>,
+}
+
+impl PatternHistoryTable {
+    /// Creates a PHT with `2^index_bits` counters of `counter_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits > 28` or the counter width is invalid.
+    pub fn new(index_bits: u32, counter_bits: u8) -> Self {
+        assert!(index_bits <= 28, "PHT larger than 2^28 entries is unsupported");
+        let counters = vec![SaturatingCounter::new(counter_bits); 1usize << index_bits];
+        PatternHistoryTable {
+            index_bits,
+            counters,
+        }
+    }
+
+    /// Creates the conventional table of 2-bit counters.
+    pub fn two_bit(index_bits: u32) -> Self {
+        PatternHistoryTable::new(index_bits, 2)
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has zero counters (never true for a valid table).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Number of index bits.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    fn slot(&self, index: u64) -> usize {
+        (index & ((1u64 << self.index_bits) - 1)) as usize
+    }
+
+    /// Predicts the direction stored at `index` (masked to the table size).
+    pub fn predict(&self, index: u64) -> Outcome {
+        self.counters[self.slot(index)].predict()
+    }
+
+    /// Reads the raw counter at `index`.
+    pub fn counter(&self, index: u64) -> SaturatingCounter {
+        self.counters[self.slot(index)]
+    }
+
+    /// Trains the counter at `index` towards `outcome`.
+    pub fn train(&mut self, index: u64, outcome: Outcome) {
+        let slot = self.slot(index);
+        self.counters[slot].train(outcome);
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * u64::from(self.counters[0].bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pht_trains_and_predicts_per_slot() {
+        let mut pht = PatternHistoryTable::two_bit(4);
+        assert_eq!(pht.len(), 16);
+        pht.train(3, Outcome::Taken);
+        pht.train(3, Outcome::Taken);
+        assert_eq!(pht.predict(3), Outcome::Taken);
+        // Other slots are untouched.
+        assert_eq!(pht.predict(4), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn indices_wrap_at_table_size() {
+        let mut pht = PatternHistoryTable::two_bit(3);
+        pht.train(8 + 1, Outcome::Taken); // aliases with slot 1
+        pht.train(1, Outcome::Taken);
+        assert_eq!(pht.predict(1), Outcome::Taken);
+        assert_eq!(pht.counter(9).value(), pht.counter(1).value());
+    }
+
+    #[test]
+    fn storage_is_counters_times_width() {
+        let pht = PatternHistoryTable::two_bit(17);
+        assert_eq!(pht.storage_bits(), (1 << 17) * 2);
+        // 2^17 two-bit counters are exactly the paper's 32 KB budget.
+        assert_eq!(pht.storage_bits() / 8, 32 * 1024);
+        assert!(!pht.is_empty());
+        assert_eq!(pht.index_bits(), 17);
+    }
+
+    #[test]
+    fn wide_counters_are_supported() {
+        let mut pht = PatternHistoryTable::new(2, 3);
+        for _ in 0..7 {
+            pht.train(0, Outcome::Taken);
+        }
+        assert_eq!(pht.counter(0).value(), 7);
+    }
+}

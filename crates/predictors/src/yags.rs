@@ -1,0 +1,244 @@
+//! The YAGS predictor (Eden & Mudge, MICRO 1998).
+//!
+//! YAGS keeps a bimodal choice table for the per-branch bias and two small
+//! tagged *exception caches* (one for branches that deviate taken, one for
+//! branches that deviate not-taken). Only executions that disagree with the
+//! bias are inserted into the caches, so the direction tables store just the
+//! exceptional behaviour and aliasing pressure drops.
+
+use crate::counter::SaturatingCounter;
+use crate::history::GlobalHistory;
+use crate::pht::PatternHistoryTable;
+use crate::predictor::BranchPredictor;
+use btr_trace::{BranchAddr, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a YAGS exception cache: a partial tag plus a 2-bit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheEntry {
+    tag: u16,
+    counter: SaturatingCounter,
+    valid: bool,
+}
+
+impl Default for CacheEntry {
+    fn default() -> Self {
+        CacheEntry {
+            tag: 0,
+            counter: SaturatingCounter::two_bit(),
+            valid: false,
+        }
+    }
+}
+
+/// A direct-mapped, partially tagged exception cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ExceptionCache {
+    index_bits: u32,
+    tag_bits: u32,
+    entries: Vec<CacheEntry>,
+}
+
+impl ExceptionCache {
+    fn new(index_bits: u32, tag_bits: u32) -> Self {
+        ExceptionCache {
+            index_bits,
+            tag_bits,
+            entries: vec![CacheEntry::default(); 1 << index_bits],
+        }
+    }
+
+    fn slot_and_tag(&self, addr: BranchAddr, history: u64) -> (usize, u16) {
+        let index = (addr.low_bits(self.index_bits) ^ history) & ((1 << self.index_bits) - 1);
+        let tag = (addr.low_bits(self.index_bits + self.tag_bits) >> self.index_bits) as u16;
+        (index as usize, tag)
+    }
+
+    fn lookup(&self, addr: BranchAddr, history: u64) -> Option<Outcome> {
+        let (slot, tag) = self.slot_and_tag(addr, history);
+        let entry = &self.entries[slot];
+        if entry.valid && entry.tag == tag {
+            Some(entry.counter.predict())
+        } else {
+            None
+        }
+    }
+
+    fn train(&mut self, addr: BranchAddr, history: u64, outcome: Outcome) {
+        let (slot, tag) = self.slot_and_tag(addr, history);
+        let entry = &mut self.entries[slot];
+        if entry.valid && entry.tag == tag {
+            entry.counter.train(outcome);
+        } else {
+            *entry = CacheEntry {
+                tag,
+                counter: SaturatingCounter::two_bit(),
+                valid: true,
+            };
+            entry.counter.train(outcome);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * (u64::from(self.tag_bits) + 2 + 1)
+    }
+}
+
+/// The YAGS predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YagsPredictor {
+    history: GlobalHistory,
+    choice: PatternHistoryTable,
+    taken_cache: ExceptionCache,
+    not_taken_cache: ExceptionCache,
+}
+
+impl YagsPredictor {
+    /// Creates a YAGS predictor.
+    ///
+    /// `choice_index_bits` sizes the bimodal choice table; each exception
+    /// cache has `2^cache_index_bits` entries with `tag_bits` partial tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits > cache_index_bits`.
+    pub fn new(choice_index_bits: u32, cache_index_bits: u32, tag_bits: u32, history_bits: u32) -> Self {
+        assert!(
+            history_bits <= cache_index_bits,
+            "yags history ({history_bits}) must not exceed cache index width ({cache_index_bits})"
+        );
+        YagsPredictor {
+            history: GlobalHistory::new(history_bits),
+            choice: PatternHistoryTable::two_bit(choice_index_bits),
+            taken_cache: ExceptionCache::new(cache_index_bits, tag_bits),
+            not_taken_cache: ExceptionCache::new(cache_index_bits, tag_bits),
+        }
+    }
+
+    /// A configuration close to the paper's 32 KB budget: a 2^15-entry choice
+    /// table (8 KB) plus two 2^13-entry exception caches (~9 KB each).
+    pub fn paper_sized(history_bits: u32) -> Self {
+        YagsPredictor::new(15, 13, 6, history_bits)
+    }
+
+    fn choice_index(&self, addr: BranchAddr) -> u64 {
+        addr.low_bits(self.choice.index_bits())
+    }
+}
+
+impl BranchPredictor for YagsPredictor {
+    fn predict(&self, addr: BranchAddr) -> Outcome {
+        let bias = self.choice.predict(self.choice_index(addr));
+        let history = self.history.pattern();
+        // Consult the cache that stores exceptions to the current bias.
+        let exception = match bias {
+            Outcome::Taken => self.not_taken_cache.lookup(addr, history),
+            Outcome::NotTaken => self.taken_cache.lookup(addr, history),
+        };
+        exception.unwrap_or(bias)
+    }
+
+    fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
+        let choice_idx = self.choice_index(addr);
+        let bias = self.choice.predict(choice_idx);
+        let history = self.history.pattern();
+        match bias {
+            Outcome::Taken => {
+                // Cache not-taken exceptions; update an existing entry either way.
+                if outcome == Outcome::NotTaken || self.not_taken_cache.lookup(addr, history).is_some() {
+                    self.not_taken_cache.train(addr, history, outcome);
+                }
+            }
+            Outcome::NotTaken => {
+                if outcome == Outcome::Taken || self.taken_cache.lookup(addr, history).is_some() {
+                    self.taken_cache.train(addr, history, outcome);
+                }
+            }
+        }
+        self.choice.train(choice_idx, outcome);
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "yags(h={},choice=2^{},cache=2^{})",
+            self.history.bits(),
+            self.choice.index_bits(),
+            self.taken_cache.index_bits
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.choice.storage_bits()
+            + self.taken_cache.storage_bits()
+            + self.not_taken_cache.storage_bits()
+            + u64::from(self.history.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_branch_is_predicted_by_the_choice_table() {
+        let mut p = YagsPredictor::new(10, 8, 6, 4);
+        let addr = BranchAddr::new(0x400100);
+        let mut hits = 0u32;
+        let n = 1000u32;
+        for _ in 0..n {
+            if p.access(addr, Outcome::Taken) {
+                hits += 1;
+            }
+        }
+        assert!(f64::from(hits) / f64::from(n) > 0.95);
+    }
+
+    #[test]
+    fn exceptions_are_learned_by_the_caches() {
+        // Mostly taken branch whose every 4th execution is not taken in a
+        // history-correlated way: the exception cache should capture it.
+        let mut p = YagsPredictor::new(10, 10, 6, 4);
+        let addr = BranchAddr::new(0x400200);
+        let mut hits_tail = 0u32;
+        let n = 4000u32;
+        let warmup = 1000u32;
+        for i in 0..n {
+            let outcome = Outcome::from_bool(i % 4 != 3);
+            let hit = p.access(addr, outcome);
+            if i >= warmup && hit {
+                hits_tail += 1;
+            }
+        }
+        let accuracy = f64::from(hits_tail) / f64::from(n - warmup);
+        assert!(accuracy > 0.9, "yags should learn periodic exceptions, got {accuracy}");
+    }
+
+    #[test]
+    fn alternating_branch_with_history() {
+        let mut p = YagsPredictor::new(12, 12, 6, 8);
+        let addr = BranchAddr::new(0x400300);
+        let mut hits = 0u32;
+        let n = 2000u32;
+        for i in 0..n {
+            if p.access(addr, Outcome::from_bool(i % 2 == 0)) {
+                hits += 1;
+            }
+        }
+        assert!(f64::from(hits) / f64::from(n) > 0.8);
+    }
+
+    #[test]
+    fn paper_sized_storage_is_reported() {
+        let p = YagsPredictor::paper_sized(10);
+        assert!(p.storage_bits() > 0);
+        assert!(p.storage_bits() / 8 <= 33 * 1024);
+        assert!(p.name().contains("yags"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn overlong_history_rejected() {
+        let _ = YagsPredictor::new(10, 4, 6, 8);
+    }
+}

@@ -1,0 +1,164 @@
+//! Predictor and simulation configuration.
+
+use btr_core::class::BinningScheme;
+use btr_predictors::bimodal::BimodalPredictor;
+use btr_predictors::gshare::GsharePredictor;
+use btr_predictors::predictor::BranchPredictor;
+use btr_predictors::staticp::StaticPredictor;
+use btr_predictors::twolevel::TwoLevelPredictor;
+use serde::{Deserialize, Serialize};
+
+/// The two predictor families the paper sweeps (plus baselines used by the
+/// ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorFamily {
+    /// Per-address history two-level predictors (the paper's PAs).
+    PAs,
+    /// Global history two-level predictors (the paper's GAs).
+    GAs,
+}
+
+impl PredictorFamily {
+    /// Short label (`"PAs"` / `"GAs"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorFamily::PAs => "PAs",
+            PredictorFamily::GAs => "GAs",
+        }
+    }
+
+    /// The paper-sized predictor of this family at history length `history`.
+    pub fn paper_predictor(self, history: u32) -> TwoLevelPredictor {
+        match self {
+            PredictorFamily::PAs => TwoLevelPredictor::pas_paper(history),
+            PredictorFamily::GAs => TwoLevelPredictor::gas_paper(history),
+        }
+    }
+
+    /// The largest history length the paper sweeps for this family under the
+    /// 32 KB budget.
+    pub fn max_history(self) -> u32 {
+        match self {
+            PredictorFamily::PAs => 16,
+            PredictorFamily::GAs => 16,
+        }
+    }
+}
+
+/// A buildable predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// The paper's PAs configuration at a given history length.
+    PAsPaper {
+        /// History length in bits (0–16).
+        history: u32,
+    },
+    /// The paper's GAs configuration at a given history length.
+    GAsPaper {
+        /// History length in bits (0–16).
+        history: u32,
+    },
+    /// A gshare predictor (32 KB) with the given history length.
+    Gshare {
+        /// History length in bits.
+        history: u32,
+    },
+    /// An address-indexed bimodal table with `2^index_bits` counters.
+    Bimodal {
+        /// log2 of the table size.
+        index_bits: u32,
+    },
+    /// Static always-taken.
+    StaticTaken,
+    /// Static always-not-taken.
+    StaticNotTaken,
+}
+
+impl PredictorKind {
+    /// Builds the predictor.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::PAsPaper { history } => Box::new(TwoLevelPredictor::pas_paper(history)),
+            PredictorKind::GAsPaper { history } => Box::new(TwoLevelPredictor::gas_paper(history)),
+            PredictorKind::Gshare { history } => Box::new(GsharePredictor::paper_sized(history)),
+            PredictorKind::Bimodal { index_bits } => Box::new(BimodalPredictor::new(index_bits)),
+            PredictorKind::StaticTaken => Box::new(StaticPredictor::always_taken()),
+            PredictorKind::StaticNotTaken => Box::new(StaticPredictor::always_not_taken()),
+        }
+    }
+
+    /// A short descriptive label.
+    pub fn label(self) -> String {
+        match self {
+            PredictorKind::PAsPaper { history } => format!("PAs(h={history})"),
+            PredictorKind::GAsPaper { history } => format!("GAs(h={history})"),
+            PredictorKind::Gshare { history } => format!("gshare(h={history})"),
+            PredictorKind::Bimodal { index_bits } => format!("bimodal(2^{index_bits})"),
+            PredictorKind::StaticTaken => "static-taken".to_string(),
+            PredictorKind::StaticNotTaken => "static-not-taken".to_string(),
+        }
+    }
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The predictor to simulate.
+    pub predictor: PredictorKind,
+    /// The binning scheme used for any classification of the results.
+    pub scheme: BinningScheme,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's binning scheme.
+    pub fn new(predictor: PredictorKind) -> Self {
+        SimConfig {
+            predictor,
+            scheme: BinningScheme::Paper11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_predictors::budget::HardwareBudget;
+
+    #[test]
+    fn families_build_paper_predictors() {
+        let pas = PredictorFamily::PAs.paper_predictor(8);
+        let gas = PredictorFamily::GAs.paper_predictor(8);
+        assert_eq!(pas.name(), "PAs(h=8)");
+        assert_eq!(gas.name(), "GAs(h=8)");
+        assert_eq!(PredictorFamily::PAs.label(), "PAs");
+        assert_eq!(PredictorFamily::GAs.max_history(), 16);
+    }
+
+    #[test]
+    fn predictor_kinds_build_and_fit_budget() {
+        let budget = HardwareBudget::paper();
+        for kind in [
+            PredictorKind::PAsPaper { history: 8 },
+            PredictorKind::GAsPaper { history: 12 },
+            PredictorKind::Gshare { history: 10 },
+            PredictorKind::Bimodal { index_bits: 17 },
+            PredictorKind::StaticTaken,
+            PredictorKind::StaticNotTaken,
+        ] {
+            let p = kind.build();
+            assert!(!kind.label().is_empty());
+            assert!(
+                p.storage_bits() <= budget.bits() + 64,
+                "{} exceeds budget",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sim_config_defaults_to_paper_binning() {
+        let cfg = SimConfig::new(PredictorKind::GAsPaper { history: 4 });
+        assert_eq!(cfg.scheme, BinningScheme::Paper11);
+        assert_eq!(cfg.predictor.label(), "GAs(h=4)");
+    }
+}

@@ -1,0 +1,148 @@
+//! The trace → predictor simulation engine.
+
+use btr_core::analysis::BranchMissMap;
+use btr_predictors::predictor::{BranchPredictor, PredictionStats};
+use btr_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The result of running one predictor over one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Aggregate hit/miss statistics over the whole trace.
+    pub overall: PredictionStats,
+    /// Per-static-branch hit/miss statistics.
+    pub per_branch: BranchMissMap,
+}
+
+impl RunResult {
+    /// Overall miss rate, or `None` for an empty run.
+    pub fn miss_rate(&self) -> Option<f64> {
+        self.overall.miss_rate()
+    }
+
+    /// Merges another run result into this one (used to aggregate a suite of
+    /// benchmarks simulated with separate predictor instances, as the paper
+    /// does).
+    pub fn merge(&mut self, other: &RunResult) {
+        self.overall.merge(&other.overall);
+        for (addr, stats) in &other.per_branch {
+            self.per_branch.entry(*addr).or_default().merge(stats);
+        }
+    }
+}
+
+/// Drives conditional branches of a trace through a predictor using the
+/// standard predict-then-update protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimEngine {
+    /// Number of initial conditional branches whose outcomes train the
+    /// predictor but are excluded from the statistics (0 by default; the
+    /// paper runs benchmarks to completion so cold-start effects wash out).
+    pub warmup: u64,
+}
+
+impl SimEngine {
+    /// Creates an engine with no warm-up exclusion.
+    pub fn new() -> Self {
+        SimEngine { warmup: 0 }
+    }
+
+    /// Sets the number of initial conditional branches excluded from the
+    /// reported statistics.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Runs the predictor over every conditional branch of the trace.
+    pub fn run(&self, trace: &Trace, predictor: &mut dyn BranchPredictor) -> RunResult {
+        let mut result = RunResult::default();
+        let mut seen = 0u64;
+        for record in trace.iter().filter(|r| r.kind().is_conditional()) {
+            let hit = predictor.predict(record.addr()) == record.outcome();
+            predictor.update(record.addr(), record.outcome());
+            seen += 1;
+            if seen <= self.warmup {
+                continue;
+            }
+            result.overall.record(hit);
+            result.per_branch.entry(record.addr()).or_default().record(hit);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorKind;
+    use btr_trace::{BranchAddr, BranchRecord, Outcome, TraceBuilder};
+
+    fn alternating_trace(n: u32) -> Trace {
+        let mut b = TraceBuilder::new("alt");
+        let addr = BranchAddr::new(0x1000);
+        for i in 0..n {
+            b.push(BranchRecord::conditional(addr, Outcome::from_bool(i % 2 == 0)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn static_taken_scores_exactly_the_taken_fraction() {
+        let mut b = TraceBuilder::new("biased");
+        let addr = BranchAddr::new(0x2000);
+        for i in 0..100u32 {
+            b.push(BranchRecord::conditional(addr, Outcome::from_bool(i % 10 != 0)));
+        }
+        let trace = b.build();
+        let result = SimEngine::new().run(&trace, &mut *PredictorKind::StaticTaken.build());
+        assert_eq!(result.overall.lookups, 100);
+        assert_eq!(result.overall.hits, 90);
+        assert!((result.miss_rate().unwrap() - 0.10).abs() < 1e-12);
+        assert_eq!(result.per_branch.len(), 1);
+    }
+
+    #[test]
+    fn pas_with_history_beats_zero_history_on_alternation() {
+        let trace = alternating_trace(2000);
+        let engine = SimEngine::new();
+        let with_history = engine.run(&trace, &mut *PredictorKind::PAsPaper { history: 2 }.build());
+        let without = engine.run(&trace, &mut *PredictorKind::PAsPaper { history: 0 }.build());
+        assert!(with_history.miss_rate().unwrap() < 0.1);
+        assert!(without.miss_rate().unwrap() > 0.4);
+    }
+
+    #[test]
+    fn warmup_excludes_initial_branches_from_statistics() {
+        let trace = alternating_trace(1000);
+        let engine = SimEngine::new().with_warmup(500);
+        let result = engine.run(&trace, &mut *PredictorKind::PAsPaper { history: 2 }.build());
+        assert_eq!(result.overall.lookups, 500);
+        // After warm-up the alternating pattern is learned almost perfectly.
+        assert!(result.miss_rate().unwrap() < 0.02);
+    }
+
+    #[test]
+    fn merge_combines_per_branch_statistics() {
+        let t1 = alternating_trace(100);
+        let mut t2_builder = TraceBuilder::new("other");
+        t2_builder.push(BranchRecord::conditional(BranchAddr::new(0x9000), Outcome::Taken));
+        let t2 = t2_builder.build();
+        let engine = SimEngine::new();
+        let mut a = engine.run(&t1, &mut *PredictorKind::StaticTaken.build());
+        let b = engine.run(&t2, &mut *PredictorKind::StaticTaken.build());
+        a.merge(&b);
+        assert_eq!(a.overall.lookups, 101);
+        assert_eq!(a.per_branch.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_result() {
+        let trace = TraceBuilder::new("empty").build();
+        let result = SimEngine::new().run(&trace, &mut *PredictorKind::GAsPaper { history: 4 }.build());
+        assert_eq!(result.overall.lookups, 0);
+        assert_eq!(result.miss_rate(), None);
+        assert!(result.per_branch.is_empty());
+    }
+}

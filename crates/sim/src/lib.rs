@@ -1,0 +1,41 @@
+//! # btr-sim
+//!
+//! Trace-driven branch-prediction simulation harness — the `sim-bpred`
+//! substitute used by the Branch Transition Rate reproduction.
+//!
+//! * [`config`] — predictor configurations the harness knows how to build.
+//! * [`engine`] — runs a trace through a predictor, collecting overall and
+//!   per-branch hit/miss statistics.
+//! * [`sweep`] — history-length sweeps (0–16) for PAs and GAs, producing the
+//!   class × history matrices of the paper's figures.
+//! * [`runner`] — multi-threaded execution of sweeps across the benchmark
+//!   suite.
+//! * [`experiments`] — one function per paper table/figure, returning both
+//!   structured data and a printable rendering.
+//!
+//! ```
+//! use btr_sim::prelude::*;
+//! use btr_workloads::spec::{Benchmark, SuiteConfig};
+//!
+//! let trace = Benchmark::compress().generate(&SuiteConfig::default().with_scale(1e-6));
+//! let result = SimEngine::new().run(&trace, &mut PredictorKind::GAsPaper { history: 4 }.build());
+//! assert!(result.overall.lookups > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod runner;
+pub mod sweep;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::config::{PredictorFamily, PredictorKind, SimConfig};
+    pub use crate::engine::{RunResult, SimEngine};
+    pub use crate::experiments::ExperimentContext;
+    pub use crate::runner::SuiteRunner;
+    pub use crate::sweep::{HistorySweep, SweepResult};
+}

@@ -1,0 +1,215 @@
+//! Multi-threaded execution of the full benchmark suite.
+
+use crate::config::PredictorFamily;
+use crate::engine::{RunResult, SimEngine};
+use crate::sweep::SweepResult;
+use btr_core::profile::ProgramProfile;
+use btr_trace::Trace;
+use btr_workloads::spec::{Benchmark, SuiteConfig};
+use parking_lot::Mutex;
+
+/// Generates the synthetic suite and runs predictor sweeps over it, spreading
+/// work across threads.
+#[derive(Debug, Clone)]
+pub struct SuiteRunner {
+    config: SuiteConfig,
+    benchmarks: Vec<Benchmark>,
+    threads: usize,
+}
+
+impl SuiteRunner {
+    /// A runner over the full 34-row Table 1 suite.
+    pub fn new(config: SuiteConfig) -> Self {
+        SuiteRunner {
+            config,
+            benchmarks: Benchmark::suite(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// Restricts the runner to a subset of benchmarks (useful for tests and
+    /// quick benches).
+    #[must_use]
+    pub fn with_benchmarks(mut self, benchmarks: Vec<Benchmark>) -> Self {
+        self.benchmarks = benchmarks;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// The suite configuration in force.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.config
+    }
+
+    /// The benchmarks this runner covers.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Generates every benchmark trace, in parallel.
+    pub fn generate_traces(&self) -> Vec<Trace> {
+        let results: Mutex<Vec<(usize, Trace)>> = Mutex::new(Vec::with_capacity(self.benchmarks.len()));
+        let next: Mutex<usize> = Mutex::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(self.benchmarks.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let idx = {
+                        let mut guard = next.lock();
+                        let idx = *guard;
+                        *guard += 1;
+                        idx
+                    };
+                    if idx >= self.benchmarks.len() {
+                        break;
+                    }
+                    let trace = self.benchmarks[idx].generate(&self.config);
+                    results.lock().push((idx, trace));
+                });
+            }
+        })
+        .expect("trace generation worker panicked");
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(idx, _)| *idx);
+        collected.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Builds the merged suite profile from generated traces.
+    pub fn merged_profile(traces: &[Trace]) -> ProgramProfile {
+        let mut profile = ProgramProfile::new();
+        for trace in traces {
+            profile.merge(&ProgramProfile::from_trace(trace));
+        }
+        profile
+    }
+
+    /// Sweeps one predictor family over the given history lengths for all
+    /// traces, distributing history lengths across threads. Every benchmark
+    /// uses a fresh predictor instance per history length, exactly as the
+    /// sequential [`crate::sweep::HistorySweep`] does.
+    pub fn run_sweep(
+        &self,
+        traces: &[Trace],
+        family: PredictorFamily,
+        histories: &[u32],
+    ) -> SweepResult {
+        assert!(!histories.is_empty(), "at least one history length is required");
+        let parts: Mutex<Vec<(u32, RunResult)>> = Mutex::new(Vec::with_capacity(histories.len()));
+        let next: Mutex<usize> = Mutex::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(histories.len()) {
+                scope.spawn(|_| loop {
+                    let idx = {
+                        let mut guard = next.lock();
+                        let idx = *guard;
+                        *guard += 1;
+                        idx
+                    };
+                    if idx >= histories.len() {
+                        break;
+                    }
+                    let history = histories[idx];
+                    let engine = SimEngine::new();
+                    let mut merged = RunResult::default();
+                    for trace in traces {
+                        let mut predictor = family.paper_predictor(history);
+                        merged.merge(&engine.run(trace, &mut predictor));
+                    }
+                    parts.lock().push((history, merged));
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        SweepResult::from_parts(family, parts.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::HistorySweep;
+
+    fn tiny_config() -> SuiteConfig {
+        SuiteConfig::default()
+            .with_scale(5e-8)
+            .with_seed(3)
+            .with_min_executions_per_branch(100)
+    }
+
+    fn tiny_runner() -> SuiteRunner {
+        SuiteRunner::new(tiny_config())
+            .with_benchmarks(vec![Benchmark::compress(), Benchmark::li()])
+            .with_threads(2)
+    }
+
+    #[test]
+    fn traces_are_generated_for_every_benchmark_in_order() {
+        let runner = tiny_runner();
+        let traces = runner.generate_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].metadata().benchmark, "compress");
+        assert_eq!(traces[1].metadata().benchmark, "li");
+        assert!(traces.iter().all(|t| t.conditional_count() > 0));
+        assert_eq!(runner.benchmarks().len(), 2);
+        assert_eq!(runner.config().seed, 3);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential_generation() {
+        let runner = tiny_runner();
+        let parallel = runner.generate_traces();
+        let sequential: Vec<Trace> = runner
+            .benchmarks()
+            .iter()
+            .map(|b| b.generate(runner.config()))
+            .collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.records(), s.records());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        let runner = tiny_runner();
+        let traces = runner.generate_traces();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let histories = vec![0, 2, 4];
+        let parallel = runner.run_sweep(&traces, PredictorFamily::PAs, &histories);
+        let sequential = HistorySweep::new(PredictorFamily::PAs, histories.clone()).run(&refs);
+        for &h in &histories {
+            assert_eq!(
+                parallel.overall_miss_rate(h),
+                sequential.overall_miss_rate(h),
+                "history {h} diverged between parallel and sequential sweeps"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_profile_covers_all_traces() {
+        let runner = tiny_runner();
+        let traces = runner.generate_traces();
+        let profile = SuiteRunner::merged_profile(&traces);
+        let total: u64 = traces.iter().map(|t| t.conditional_count()).sum();
+        assert_eq!(profile.total_dynamic(), total);
+        assert!(profile.static_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = tiny_runner().with_threads(0);
+    }
+}

@@ -1,0 +1,292 @@
+//! History-length sweeps: the core experimental procedure of the paper
+//! (simulate PAs and GAs at history lengths 0–16 and fold the results over
+//! branch classes).
+
+use crate::config::PredictorFamily;
+use crate::engine::{RunResult, SimEngine};
+use btr_core::analysis::{BranchMissMap, ClassHistoryMatrix, ClassMissRates, JointMissMatrix};
+use btr_core::class::BinningScheme;
+use btr_core::distribution::Metric;
+use btr_core::profile::ProgramProfile;
+use btr_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of sweeping one predictor family over a set of history
+/// lengths for one or more traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    family: PredictorFamily,
+    /// Per-history aggregated per-branch statistics.
+    runs: Vec<(u32, BranchMissMap)>,
+    /// Per-history overall statistics.
+    overall: Vec<(u32, RunResult)>,
+}
+
+impl SweepResult {
+    /// Assembles a sweep result from per-history run results (used by the
+    /// parallel suite runner, which executes history lengths on separate
+    /// threads).
+    pub fn from_parts(family: PredictorFamily, mut parts: Vec<(u32, RunResult)>) -> Self {
+        parts.sort_by_key(|(h, _)| *h);
+        let runs = parts
+            .iter()
+            .map(|(h, r)| (*h, r.per_branch.clone()))
+            .collect();
+        SweepResult {
+            family,
+            runs,
+            overall: parts,
+        }
+    }
+
+    /// The predictor family swept.
+    pub fn family(&self) -> PredictorFamily {
+        self.family
+    }
+
+    /// The history lengths swept, in order.
+    pub fn history_lengths(&self) -> Vec<u32> {
+        self.runs.iter().map(|(h, _)| *h).collect()
+    }
+
+    /// The per-branch statistics at one history length.
+    pub fn per_branch(&self, history: u32) -> Option<&BranchMissMap> {
+        self.runs.iter().find(|(h, _)| *h == history).map(|(_, m)| m)
+    }
+
+    /// The per-history `(history, BranchMissMap)` pairs.
+    pub fn runs(&self) -> &[(u32, BranchMissMap)] {
+        &self.runs
+    }
+
+    /// Overall miss rate at one history length.
+    pub fn overall_miss_rate(&self, history: u32) -> Option<f64> {
+        self.overall
+            .iter()
+            .find(|(h, _)| *h == history)
+            .and_then(|(_, r)| r.miss_rate())
+    }
+
+    /// Builds the class × history miss matrix for one metric
+    /// (Figures 5–12).
+    pub fn class_history_matrix(
+        &self,
+        profile: &ProgramProfile,
+        metric: Metric,
+        scheme: BinningScheme,
+    ) -> ClassHistoryMatrix {
+        let runs: Vec<(u32, ClassMissRates)> = self
+            .runs
+            .iter()
+            .map(|(h, misses)| {
+                (*h, ClassMissRates::aggregate(profile, metric, scheme, misses))
+            })
+            .collect();
+        ClassHistoryMatrix::from_runs(&runs)
+    }
+
+    /// Builds the joint-class optimal-history miss matrix (Figures 13–14).
+    pub fn joint_miss_matrix(
+        &self,
+        profile: &ProgramProfile,
+        scheme: BinningScheme,
+    ) -> JointMissMatrix {
+        JointMissMatrix::from_history_runs(profile, scheme, &self.runs)
+    }
+}
+
+/// Sweeps a predictor family over a set of history lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistorySweep {
+    family: PredictorFamily,
+    histories: Vec<u32>,
+    warmup: u64,
+}
+
+impl HistorySweep {
+    /// Creates a sweep over explicit history lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `histories` is empty or contains a length above the family's
+    /// 32 KB-budget maximum.
+    pub fn new(family: PredictorFamily, histories: Vec<u32>) -> Self {
+        assert!(!histories.is_empty(), "sweep needs at least one history length");
+        assert!(
+            histories.iter().all(|h| *h <= family.max_history()),
+            "history length exceeds the 32 KB budget for {}",
+            family.label()
+        );
+        HistorySweep {
+            family,
+            histories,
+            warmup: 0,
+        }
+    }
+
+    /// The paper's sweep: history lengths 0 through 16.
+    pub fn paper(family: PredictorFamily) -> Self {
+        HistorySweep::new(family, (0..=16).collect())
+    }
+
+    /// A reduced sweep for quick tests and benches.
+    pub fn coarse(family: PredictorFamily) -> Self {
+        HistorySweep::new(family, vec![0, 1, 2, 4, 8, 12, 16])
+    }
+
+    /// Sets a warm-up exclusion (see [`SimEngine::with_warmup`]).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// The history lengths this sweep covers.
+    pub fn histories(&self) -> &[u32] {
+        &self.histories
+    }
+
+    /// The predictor family swept.
+    pub fn family(&self) -> PredictorFamily {
+        self.family
+    }
+
+    /// Runs the sweep over a set of traces.
+    ///
+    /// Each benchmark trace gets a fresh predictor instance per history
+    /// length (matching `sim-bpred`, which simulates each benchmark
+    /// independently); statistics are merged across traces per history
+    /// length.
+    pub fn run(&self, traces: &[&Trace]) -> SweepResult {
+        let engine = SimEngine::new().with_warmup(self.warmup);
+        let mut runs = Vec::with_capacity(self.histories.len());
+        let mut overall = Vec::with_capacity(self.histories.len());
+        for &history in &self.histories {
+            let mut merged = RunResult::default();
+            for trace in traces {
+                let mut predictor = self.family.paper_predictor(history);
+                let result = engine.run(trace, &mut predictor);
+                merged.merge(&result);
+            }
+            runs.push((history, merged.per_branch.clone()));
+            overall.push((history, merged));
+        }
+        SweepResult {
+            family: self.family,
+            runs,
+            overall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_core::class::ClassId;
+    use btr_trace::{BranchAddr, BranchRecord, Outcome, TraceBuilder};
+
+    /// A trace with one strongly biased branch, one alternating branch and
+    /// one coin-flip branch — tiny but covering three very different classes.
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new("mixed");
+        let biased = BranchAddr::new(0x1000);
+        let alternating = BranchAddr::new(0x2000);
+        let noisy = BranchAddr::new(0x3000);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..3000u32 {
+            b.push(BranchRecord::conditional(biased, Outcome::from_bool(i % 50 != 0)));
+            b.push(BranchRecord::conditional(
+                alternating,
+                Outcome::from_bool(i % 2 == 0),
+            ));
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.push(BranchRecord::conditional(
+                noisy,
+                Outcome::from_bool((state >> 40) & 1 == 1),
+            ));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sweep_produces_one_run_per_history() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 2, 4]);
+        let result = sweep.run(&[&trace]);
+        assert_eq!(result.history_lengths(), vec![0, 2, 4]);
+        assert_eq!(result.family(), PredictorFamily::PAs);
+        assert!(result.per_branch(2).is_some());
+        assert!(result.per_branch(9).is_none());
+        assert!(result.overall_miss_rate(0).unwrap() > 0.0);
+        assert_eq!(result.runs().len(), 3);
+    }
+
+    #[test]
+    fn alternating_class_prefers_short_history_with_pas() {
+        let trace = mixed_trace();
+        let profile = ProgramProfile::from_trace(&trace);
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 1, 2, 4]);
+        let result = sweep.run(&[&trace]);
+        let matrix =
+            result.class_history_matrix(&profile, Metric::TransitionRate, BinningScheme::Paper11);
+        // Transition class 10 (the alternator): terrible with 0 history, great with >= 1.
+        let at0 = matrix.miss_at(ClassId(10), 0).unwrap();
+        let at2 = matrix.miss_at(ClassId(10), 2).unwrap();
+        assert!(at0 > 0.4, "history 0 should fail on alternation, got {at0}");
+        assert!(at2 < 0.05, "history 2 should capture alternation, got {at2}");
+        let (best, _) = matrix.optimal_history(ClassId(10)).unwrap();
+        assert!(best >= 1);
+        // Transition class 0 (the biased branch) is fine even with 0 history.
+        assert!(matrix.miss_at(ClassId(0), 0).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn joint_matrix_identifies_the_noisy_branch_as_worst() {
+        let trace = mixed_trace();
+        let profile = ProgramProfile::from_trace(&trace);
+        let sweep = HistorySweep::new(PredictorFamily::GAs, vec![0, 4, 8]);
+        let result = sweep.run(&[&trace]);
+        let joint = result.joint_miss_matrix(&profile, BinningScheme::Paper11);
+        let (taken, transition, rate) = joint.worst_cell().unwrap();
+        // The coin-flip branch lives near the 5/5 centre and stays near 50%.
+        assert!((4..=6).contains(&taken.index()), "worst taken class {taken}");
+        assert!((4..=6).contains(&transition.index()));
+        assert!(rate > 0.3);
+    }
+
+    #[test]
+    fn merging_across_traces_accumulates_lookups() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![2]);
+        let single = sweep.run(&[&trace]);
+        let double = sweep.run(&[&trace, &trace]);
+        let single_lookups: u64 = single.per_branch(2).unwrap().values().map(|s| s.lookups).sum();
+        let double_lookups: u64 = double.per_branch(2).unwrap().values().map(|s| s.lookups).sum();
+        assert_eq!(double_lookups, single_lookups * 2);
+    }
+
+    #[test]
+    fn paper_and_coarse_sweeps_have_expected_shapes() {
+        assert_eq!(HistorySweep::paper(PredictorFamily::PAs).histories().len(), 17);
+        assert_eq!(HistorySweep::paper(PredictorFamily::GAs).histories()[16], 16);
+        assert!(HistorySweep::coarse(PredictorFamily::PAs).histories().len() < 17);
+        assert_eq!(
+            HistorySweep::coarse(PredictorFamily::GAs).family(),
+            PredictorFamily::GAs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one history")]
+    fn empty_sweep_rejected() {
+        let _ = HistorySweep::new(PredictorFamily::PAs, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32 KB budget")]
+    fn overlong_history_rejected() {
+        let _ = HistorySweep::new(PredictorFamily::PAs, vec![18]);
+    }
+}

@@ -1,0 +1,409 @@
+//! The `BTRT` compact binary trace format.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic      : 4 bytes  = "BTRT"
+//! version    : u32 LE   = 1
+//! count      : u64 LE   = number of records
+//! bench_len  : u16 LE, benchmark name bytes (UTF-8)
+//! input_len  : u16 LE, input set bytes (UTF-8)
+//! seed_flag  : u8 (0/1), seed : u64 LE if flag == 1
+//! records    : count × record
+//! ```
+//!
+//! Each record is a flag byte followed by a varint-encoded address delta
+//! (zig-zag, relative to the previous record's address) and, when present, a
+//! varint-encoded absolute target address. The flag byte packs the branch
+//! kind (3 bits), the outcome (1 bit) and target presence (1 bit). Typical
+//! workload traces compress to roughly 2 bytes per record because consecutive
+//! branches tend to be close together in the address space.
+
+use crate::error::TraceError;
+use crate::record::{BranchAddr, BranchKind, BranchRecord, Outcome};
+use crate::trace::{Trace, TraceBuilder, TraceMetadata};
+use crate::Result;
+use std::io::{Read, Write};
+
+const MAGIC: [u8; 4] = *b"BTRT";
+const VERSION: u32 = 1;
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return None,
+    })
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            return Err(TraceError::UnexpectedEof { context });
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::MalformedLine {
+                line: 0,
+                reason: "varint longer than 64 bits".into(),
+            });
+        }
+    }
+}
+
+fn write_u16<W: Write>(w: &mut W, v: u16) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R, context: &'static str) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::UnexpectedEof { context }
+        } else {
+            TraceError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+/// Writes a whole trace in the `BTRT` binary format.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<()> {
+    write_header(w, trace.metadata(), trace.len() as u64)?;
+    let mut prev_addr = 0u64;
+    for record in trace.records() {
+        write_record(w, record, &mut prev_addr)?;
+    }
+    Ok(())
+}
+
+fn write_header<W: Write>(w: &mut W, meta: &TraceMetadata, count: u64) -> Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u64(w, count)?;
+    let bench = meta.benchmark.as_bytes();
+    let input = meta.input_set.as_bytes();
+    write_u16(w, bench.len().min(u16::MAX as usize) as u16)?;
+    w.write_all(&bench[..bench.len().min(u16::MAX as usize)])?;
+    write_u16(w, input.len().min(u16::MAX as usize) as u16)?;
+    w.write_all(&input[..input.len().min(u16::MAX as usize)])?;
+    match meta.seed {
+        Some(seed) => {
+            w.write_all(&[1])?;
+            write_u64(w, seed)?;
+        }
+        None => w.write_all(&[0])?,
+    }
+    Ok(())
+}
+
+fn write_record<W: Write>(w: &mut W, record: &BranchRecord, prev_addr: &mut u64) -> Result<()> {
+    let mut flags = kind_code(record.kind());
+    if record.outcome().is_taken() {
+        flags |= 1 << 3;
+    }
+    if record.target().is_some() {
+        flags |= 1 << 4;
+    }
+    w.write_all(&[flags])?;
+    let delta = record.addr().raw() as i64 - *prev_addr as i64;
+    write_varint(w, zigzag_encode(delta))?;
+    *prev_addr = record.addr().raw();
+    if let Some(target) = record.target() {
+        write_varint(w, target.raw())?;
+    }
+    Ok(())
+}
+
+/// Streaming reader yielding one [`BranchRecord`] at a time from a `BTRT`
+/// stream, so very large traces do not have to be materialised.
+#[derive(Debug)]
+pub struct BinaryRecordReader<R> {
+    reader: R,
+    metadata: TraceMetadata,
+    declared: u64,
+    produced: u64,
+    prev_addr: u64,
+}
+
+impl<R: Read> BinaryRecordReader<R> {
+    /// Reads and validates the header, returning a record iterator.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic bytes, unsupported versions, or truncated headers.
+    pub fn new(mut reader: R) -> Result<Self> {
+        let magic: [u8; 4] = read_exact(&mut reader, "magic")?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(read_exact(&mut reader, "version")?);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let declared = u64::from_le_bytes(read_exact(&mut reader, "record count")?);
+        let bench_len = u16::from_le_bytes(read_exact(&mut reader, "benchmark length")?) as usize;
+        let mut bench = vec![0u8; bench_len];
+        reader.read_exact(&mut bench)?;
+        let input_len = u16::from_le_bytes(read_exact(&mut reader, "input length")?) as usize;
+        let mut input = vec![0u8; input_len];
+        reader.read_exact(&mut input)?;
+        let seed_flag: [u8; 1] = read_exact(&mut reader, "seed flag")?;
+        let seed = if seed_flag[0] == 1 {
+            Some(u64::from_le_bytes(read_exact(&mut reader, "seed")?))
+        } else {
+            None
+        };
+        let metadata = TraceMetadata {
+            benchmark: String::from_utf8_lossy(&bench).into_owned(),
+            input_set: String::from_utf8_lossy(&input).into_owned(),
+            description: String::new(),
+            seed,
+        };
+        Ok(BinaryRecordReader {
+            reader,
+            metadata,
+            declared,
+            produced: 0,
+            prev_addr: 0,
+        })
+    }
+
+    /// The metadata decoded from the header.
+    pub fn metadata(&self) -> &TraceMetadata {
+        &self.metadata
+    }
+
+    /// The number of records the header declared.
+    pub fn declared_count(&self) -> u64 {
+        self.declared
+    }
+
+    fn read_record(&mut self) -> Result<BranchRecord> {
+        let flags: [u8; 1] = read_exact(&mut self.reader, "record flags")?;
+        let flags = flags[0];
+        let kind = kind_from_code(flags & 0x07).ok_or(TraceError::UnknownKind {
+            code: char::from(b'0' + (flags & 0x07)),
+        })?;
+        let outcome = Outcome::from_bool(flags & (1 << 3) != 0);
+        let has_target = flags & (1 << 4) != 0;
+        let delta = zigzag_decode(read_varint(&mut self.reader, "address delta")?);
+        let addr = (self.prev_addr as i64 + delta) as u64;
+        self.prev_addr = addr;
+        let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
+        if has_target {
+            let target = read_varint(&mut self.reader, "target address")?;
+            record = record.with_target(BranchAddr::new(target));
+        }
+        Ok(record)
+    }
+}
+
+impl<R: Read> Iterator for BinaryRecordReader<R> {
+    type Item = Result<BranchRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.produced >= self.declared {
+            return None;
+        }
+        self.produced += 1;
+        Some(self.read_record())
+    }
+}
+
+/// Reads an entire trace from a `BTRT` stream into memory.
+///
+/// # Errors
+///
+/// Fails on any decoding error or if the declared record count does not match
+/// the number of records present.
+pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace> {
+    let mut stream = BinaryRecordReader::new(reader)?;
+    let declared = stream.declared_count();
+    let mut builder = TraceBuilder::with_metadata(stream.metadata().clone());
+    builder.reserve(declared.min(1 << 24) as usize);
+    let mut actual = 0u64;
+    while let Some(record) = stream.next() {
+        builder.push(record?);
+        actual += 1;
+    }
+    if actual != declared {
+        return Err(TraceError::CountMismatch { declared, actual });
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("gcc").with_input_set("cccp.i").with_seed(42);
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(0x0040_0100),
+            Outcome::Taken,
+        ));
+        b.push(
+            BranchRecord::new(
+                BranchAddr::new(0x0040_0090),
+                BranchKind::Call,
+                Outcome::Taken,
+            )
+            .with_target(BranchAddr::new(0x0041_0000)),
+        );
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(0x0040_0104),
+            Outcome::NotTaken,
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_metadata() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.metadata().benchmark, "gcc");
+        assert_eq!(back.metadata().input_set, "cccp.i");
+        assert_eq!(back.metadata().seed, Some(42));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = TraceBuilder::new("empty").build();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.metadata().benchmark, "empty");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPExxxxxxxxxxxxxxxxxxxx".to_vec();
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf[4] = 9; // corrupt the version field
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::UnsupportedVersion { found: 9 }));
+    }
+
+    #[test]
+    fn truncated_stream_reports_eof() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::UnexpectedEof { .. }) || matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn streaming_reader_yields_each_record() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let reader = BinaryRecordReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.declared_count(), 3);
+        let records: Vec<_> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(records.as_slice(), trace.records());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX >> 1] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            let back = read_varint(&mut buf.as_slice(), "test").unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact_for_local_branches() {
+        // 1000 branches in a tight loop should average well under 4 bytes each.
+        let mut b = TraceBuilder::new("tight");
+        for i in 0..1000u64 {
+            b.push(BranchRecord::conditional(
+                BranchAddr::new(0x0040_0000 + (i % 8) * 4),
+                Outcome::from_bool(i % 3 == 0),
+            ));
+        }
+        let trace = b.build();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert!(buf.len() < 4 * 1000, "encoded size {} too large", buf.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! Line-oriented text trace format.
+//!
+//! Header lines start with `#` and carry metadata key/value pairs. Each
+//! record line is `<kind> <addr-hex> <T|N> [<target-hex>]`, for example:
+//!
+//! ```text
+//! # benchmark: gcc
+//! # input: cccp.i
+//! C 0x00400100 T
+//! C 0x00400104 N
+//! L 0x00400200 T 0x00410000
+//! ```
+
+use crate::error::TraceError;
+use crate::record::{BranchAddr, BranchKind, BranchRecord, Outcome};
+use crate::trace::{Trace, TraceBuilder, TraceMetadata};
+use crate::Result;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes a trace in the text format.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<()> {
+    let meta = trace.metadata();
+    writeln!(w, "# benchmark: {}", meta.benchmark)?;
+    if !meta.input_set.is_empty() {
+        writeln!(w, "# input: {}", meta.input_set)?;
+    }
+    if let Some(seed) = meta.seed {
+        writeln!(w, "# seed: {seed}")?;
+    }
+    for record in trace.records() {
+        write!(
+            w,
+            "{} {:#010x} {}",
+            record.kind().mnemonic(),
+            record.addr().raw(),
+            record.outcome()
+        )?;
+        if let Some(t) = record.target() {
+            write!(w, " {:#010x}", t.raw())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+fn parse_hex(token: &str, line: usize) -> Result<u64> {
+    let stripped = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+        .unwrap_or(token);
+    u64::from_str_radix(stripped, 16).map_err(|_| TraceError::MalformedLine {
+        line,
+        reason: format!("invalid hex address {token:?}"),
+    })
+}
+
+/// Reads a trace in the text format.
+///
+/// # Errors
+///
+/// Returns an error for malformed lines, unknown kind mnemonics or I/O
+/// failures.
+pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace> {
+    let buffered = BufReader::new(reader);
+    let mut metadata = TraceMetadata::default();
+    let mut builder: Option<TraceBuilder> = None;
+    let mut records = Vec::new();
+
+    for (idx, line) in buffered.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(value) = comment.strip_prefix("benchmark:") {
+                metadata.benchmark = value.trim().to_string();
+            } else if let Some(value) = comment.strip_prefix("input:") {
+                metadata.input_set = value.trim().to_string();
+            } else if let Some(value) = comment.strip_prefix("seed:") {
+                metadata.seed = value.trim().parse().ok();
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let kind_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+            line: line_no,
+            reason: "missing kind".into(),
+        })?;
+        let kind_char = kind_token.chars().next().unwrap_or('?');
+        let kind = BranchKind::from_mnemonic(kind_char)
+            .ok_or(TraceError::UnknownKind { code: kind_char })?;
+        let addr_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+            line: line_no,
+            reason: "missing address".into(),
+        })?;
+        let addr = parse_hex(addr_token, line_no)?;
+        let outcome_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+            line: line_no,
+            reason: "missing outcome".into(),
+        })?;
+        let outcome = match outcome_token {
+            "T" | "t" | "1" => Outcome::Taken,
+            "N" | "n" | "0" => Outcome::NotTaken,
+            other => {
+                return Err(TraceError::MalformedLine {
+                    line: line_no,
+                    reason: format!("invalid outcome {other:?}"),
+                })
+            }
+        };
+        let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
+        if let Some(target_token) = parts.next() {
+            record = record.with_target(BranchAddr::new(parse_hex(target_token, line_no)?));
+        }
+        records.push(record);
+        let _ = &mut builder; // builder constructed after metadata is final
+    }
+
+    let mut b = TraceBuilder::with_metadata(metadata);
+    b.extend(records);
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("perl").with_input_set("primes.pl").with_seed(3);
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(0x0040_0100),
+            Outcome::Taken,
+        ));
+        b.push(
+            BranchRecord::new(
+                BranchAddr::new(0x0040_0200),
+                BranchKind::Unconditional,
+                Outcome::Taken,
+            )
+            .with_target(BranchAddr::new(0x0041_0000)),
+        );
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(0x0040_0104),
+            Outcome::NotTaken,
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_metadata() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.metadata().benchmark, "perl");
+        assert_eq!(back.metadata().input_set, "primes.pl");
+        assert_eq!(back.metadata().seed, Some(3));
+    }
+
+    #[test]
+    fn parses_hand_written_text() {
+        let text = "\
+# benchmark: demo
+# input: small
+C 0x1000 T
+C 0x1004 N
+R 0x1008 T
+";
+        let trace = read_trace(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.conditional_count(), 2);
+        assert_eq!(trace.metadata().benchmark, "demo");
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let text = "\n\n# just a comment\nC 0x1000 T\n\n";
+        let trace = read_trace(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn lowercase_and_numeric_outcomes_accepted() {
+        let text = "C 0x1000 t\nC 0x1004 0\nC 0x1008 1\n";
+        let trace = read_trace(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.records()[0].outcome(), Outcome::Taken);
+        assert_eq!(trace.records()[1].outcome(), Outcome::NotTaken);
+        assert_eq!(trace.records()[2].outcome(), Outcome::Taken);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let text = "C 0x1000 T\nC zzzz T\n";
+        let err = read_trace(&mut text.as_bytes()).unwrap_err();
+        match err {
+            TraceError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_reported() {
+        let text = "X 0x1000 T\n";
+        let err = read_trace(&mut text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::UnknownKind { code: 'X' }));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        for text in ["C\n", "C 0x1000\n", "C 0x1000 Q\n"] {
+            assert!(read_trace(&mut text.as_bytes()).is_err(), "{text:?}");
+        }
+    }
+}

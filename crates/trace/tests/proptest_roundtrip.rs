@@ -1,0 +1,113 @@
+//! Property-based tests for the trace substrate: serialization round-trips
+//! and statistics invariants.
+
+use btr_trace::io::{binary, text};
+use btr_trace::{
+    AddrStats, BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder, TraceMetadata,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::Indirect),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..0x1_0000_0000u64,
+        arb_kind(),
+        any::<bool>(),
+        proptest::option::of(0u64..0x1_0000_0000u64),
+    )
+        .prop_map(|(addr, kind, taken, target)| {
+            let mut r = BranchRecord::new(BranchAddr::new(addr), kind, Outcome::from_bool(taken));
+            if let Some(t) = target {
+                r = r.with_target(BranchAddr::new(t));
+            }
+            r
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (proptest::collection::vec(arb_record(), 0..200), any::<u64>()).prop_map(|(records, seed)| {
+        let meta = TraceMetadata::named("prop").with_input_set("fuzz").with_seed(seed);
+        Trace::from_records(meta, records)
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip_is_identity(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, &trace).unwrap();
+        let back = binary::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.records(), trace.records());
+        prop_assert_eq!(&back.metadata().benchmark, &trace.metadata().benchmark);
+        prop_assert_eq!(back.metadata().seed, trace.metadata().seed);
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        text::write_trace(&mut buf, &trace).unwrap();
+        let back = text::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn stats_invariants_hold(outcomes in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let mut stats = AddrStats::new();
+        for taken in &outcomes {
+            stats.observe(Outcome::from_bool(*taken));
+        }
+        let n = outcomes.len() as u64;
+        prop_assert_eq!(stats.executions(), n);
+        prop_assert!(stats.taken() <= n);
+        // A transition needs a predecessor, so there are at most n-1 of them.
+        if n > 0 {
+            prop_assert!(stats.transitions() <= n - 1);
+            let tf = stats.taken_fraction().unwrap();
+            let xf = stats.transition_fraction().unwrap();
+            prop_assert!((0.0..=1.0).contains(&tf));
+            prop_assert!((0.0..=1.0).contains(&xf));
+        } else {
+            prop_assert_eq!(stats.transitions(), 0);
+        }
+        // Recompute transitions independently.
+        let expected_transitions = outcomes.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+        prop_assert_eq!(stats.transitions(), expected_transitions);
+        let expected_taken = outcomes.iter().filter(|t| **t).count() as u64;
+        prop_assert_eq!(stats.taken(), expected_taken);
+    }
+
+    #[test]
+    fn trace_stats_totals_match_record_counts(trace in arb_trace()) {
+        let stats = trace.stats();
+        let conditional = trace
+            .records()
+            .iter()
+            .filter(|r| r.kind().is_conditional())
+            .count() as u64;
+        prop_assert_eq!(stats.total_conditional(), conditional);
+        prop_assert_eq!(
+            stats.total_other(),
+            trace.len() as u64 - conditional
+        );
+        let per_addr_sum: u64 = stats.iter().map(|(_, s)| s.executions()).sum();
+        prop_assert_eq!(per_addr_sum, conditional);
+    }
+
+    #[test]
+    fn builder_matches_from_records(records in proptest::collection::vec(arb_record(), 0..100)) {
+        let mut builder = TraceBuilder::new("cmp");
+        builder.extend(records.clone());
+        let a = builder.build();
+        let b = Trace::from_records(TraceMetadata::named("cmp"), records);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}
