@@ -10,7 +10,9 @@ fn bench_ablation_binning(c: &mut Criterion) {
     let data = bench_data(&ctx);
     let mut group = c.benchmark_group("ablation_binning");
     group.sample_size(10);
-    group.bench_function("three_schemes", |b| b.iter(|| experiments::ablation_binning(&data)));
+    group.bench_function("three_schemes", |b| {
+        b.iter(|| experiments::ablation_binning(&data))
+    });
     group.finish();
 }
 

@@ -10,7 +10,9 @@ fn bench_distributions(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_fig2_distributions");
     group.sample_size(10);
     group.bench_function("fig1_taken", |b| b.iter(|| experiments::fig1(&ctx, &data)));
-    group.bench_function("fig2_transition", |b| b.iter(|| experiments::fig2(&ctx, &data)));
+    group.bench_function("fig2_transition", |b| {
+        b.iter(|| experiments::fig2(&ctx, &data))
+    });
     group.finish();
 }
 

@@ -10,8 +10,12 @@ fn bench_optimal_history(c: &mut Criterion) {
     let data = bench_data(&ctx);
     let mut group = c.benchmark_group("fig3_fig4_optimal_history");
     group.sample_size(10);
-    group.bench_function("fig3_taken_classes", |b| b.iter(|| experiments::fig3(&ctx, &data)));
-    group.bench_function("fig4_transition_classes", |b| b.iter(|| experiments::fig4(&ctx, &data)));
+    group.bench_function("fig3_taken_classes", |b| {
+        b.iter(|| experiments::fig3(&ctx, &data))
+    });
+    group.bench_function("fig4_transition_classes", |b| {
+        b.iter(|| experiments::fig4(&ctx, &data))
+    });
     group.finish();
 }
 

@@ -14,14 +14,24 @@ fn bench_colormaps(c: &mut Criterion) {
     group.sample_size(10);
     let cases = [
         ("fig5_pas_taken", PredictorFamily::PAs, Metric::TakenRate),
-        ("fig6_pas_transition", PredictorFamily::PAs, Metric::TransitionRate),
+        (
+            "fig6_pas_transition",
+            PredictorFamily::PAs,
+            Metric::TransitionRate,
+        ),
         ("fig7_gas_taken", PredictorFamily::GAs, Metric::TakenRate),
-        ("fig8_gas_transition", PredictorFamily::GAs, Metric::TransitionRate),
+        (
+            "fig8_gas_transition",
+            PredictorFamily::GAs,
+            Metric::TransitionRate,
+        ),
     ];
     for (name, family, metric) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(family, metric), |b, &(family, metric)| {
-            b.iter(|| experiments::fig5_to_8(&ctx, &data, family, metric))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(family, metric),
+            |b, &(family, metric)| b.iter(|| experiments::fig5_to_8(&ctx, &data, family, metric)),
+        );
     }
     group.finish();
 }

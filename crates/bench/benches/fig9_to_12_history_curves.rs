@@ -14,14 +14,24 @@ fn bench_history_curves(c: &mut Criterion) {
     group.sample_size(10);
     let cases = [
         ("fig9_pas_taken", PredictorFamily::PAs, Metric::TakenRate),
-        ("fig10_pas_transition", PredictorFamily::PAs, Metric::TransitionRate),
+        (
+            "fig10_pas_transition",
+            PredictorFamily::PAs,
+            Metric::TransitionRate,
+        ),
         ("fig11_gas_taken", PredictorFamily::GAs, Metric::TakenRate),
-        ("fig12_gas_transition", PredictorFamily::GAs, Metric::TransitionRate),
+        (
+            "fig12_gas_transition",
+            PredictorFamily::GAs,
+            Metric::TransitionRate,
+        ),
     ];
     for (name, family, metric) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(family, metric), |b, &(family, metric)| {
-            b.iter(|| experiments::fig9_to_12(&ctx, &data, family, metric))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(family, metric),
+            |b, &(family, metric)| b.iter(|| experiments::fig9_to_12(&ctx, &data, family, metric)),
+        );
     }
     group.finish();
 }

@@ -19,19 +19,39 @@ fn synthetic_stream(n: usize) -> Vec<(BranchAddr, Outcome)> {
         .collect()
 }
 
+type PredictorFactory = Box<dyn Fn() -> Box<dyn BranchPredictor>>;
+
 fn bench_predictors(c: &mut Criterion) {
     let stream = synthetic_stream(100_000);
     let mut group = c.benchmark_group("predictor_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(stream.len() as u64));
 
-    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn BranchPredictor>>)> = vec![
-        ("PAs(h=8)", Box::new(|| Box::new(TwoLevelPredictor::pas_paper(8)))),
-        ("GAs(h=12)", Box::new(|| Box::new(TwoLevelPredictor::gas_paper(12)))),
-        ("gshare(h=12)", Box::new(|| Box::new(GsharePredictor::paper_sized(12)))),
-        ("bimodal(2^17)", Box::new(|| Box::new(BimodalPredictor::paper_sized()))),
-        ("yags", Box::new(|| Box::new(YagsPredictor::paper_sized(10)))),
-        ("bimode", Box::new(|| Box::new(BiModePredictor::paper_sized(10)))),
+    let cases: Vec<(&str, PredictorFactory)> = vec![
+        (
+            "PAs(h=8)",
+            Box::new(|| Box::new(TwoLevelPredictor::pas_paper(8))),
+        ),
+        (
+            "GAs(h=12)",
+            Box::new(|| Box::new(TwoLevelPredictor::gas_paper(12))),
+        ),
+        (
+            "gshare(h=12)",
+            Box::new(|| Box::new(GsharePredictor::paper_sized(12))),
+        ),
+        (
+            "bimodal(2^17)",
+            Box::new(|| Box::new(BimodalPredictor::paper_sized())),
+        ),
+        (
+            "yags",
+            Box::new(|| Box::new(YagsPredictor::paper_sized(10))),
+        ),
+        (
+            "bimode",
+            Box::new(|| Box::new(BiModePredictor::paper_sized(10))),
+        ),
     ];
     for (name, make) in &cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &stream, |b, stream| {

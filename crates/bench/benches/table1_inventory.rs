@@ -9,9 +9,7 @@ fn bench_table1(c: &mut Criterion) {
     let data = bench_data(&ctx);
     let mut group = c.benchmark_group("table1_inventory");
     group.sample_size(10);
-    group.bench_function("table1", |b| {
-        b.iter(|| experiments::table1(&ctx, &data))
-    });
+    group.bench_function("table1", |b| b.iter(|| experiments::table1(&ctx, &data)));
     group.finish();
 }
 

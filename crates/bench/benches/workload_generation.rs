@@ -19,13 +19,22 @@ fn bench_generation(c: &mut Criterion) {
     let mut builder = CfgBuilder::new(0x40_0000);
     builder.counted_loop(500, |outer| {
         outer.counted_loop(8, |inner| {
-            inner.if_else(Condition::Modulo { period: 3, phase: 0 }, 1, 1);
+            inner.if_else(
+                Condition::Modulo {
+                    period: 3,
+                    phase: 0,
+                },
+                1,
+                1,
+            );
         });
         outer.if_else(Condition::Random { p_taken: 0.4 }, 2, 1);
     });
     let program = builder.build();
     group.throughput(Throughput::Elements(50_000));
-    group.bench_function("cfg_interpreter_50k", |b| b.iter(|| program.interpret(50_000, 7)));
+    group.bench_function("cfg_interpreter_50k", |b| {
+        b.iter(|| program.interpret(50_000, 7))
+    });
     group.finish();
 }
 

@@ -33,7 +33,11 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => quick = true,
             "--scale" => {
                 let value = args.next().ok_or("--scale requires a value")?;
-                scale = Some(value.parse::<f64>().map_err(|_| format!("invalid scale {value:?}"))?);
+                scale = Some(
+                    value
+                        .parse::<f64>()
+                        .map_err(|_| format!("invalid scale {value:?}"))?,
+                );
             }
             "--help" | "-h" => {
                 return Err("usage: reproduce [EXPERIMENT] [--quick] [--scale FACTOR]".to_string())
@@ -62,9 +66,13 @@ fn run_experiment(name: &str, ctx: &ExperimentContext, data: &SuiteData) -> Opti
         "fig7" => experiments::fig5_to_8(ctx, data, PredictorFamily::GAs, Metric::TakenRate).1,
         "fig8" => experiments::fig5_to_8(ctx, data, PredictorFamily::GAs, Metric::TransitionRate).1,
         "fig9" => experiments::fig9_to_12(ctx, data, PredictorFamily::PAs, Metric::TakenRate).1,
-        "fig10" => experiments::fig9_to_12(ctx, data, PredictorFamily::PAs, Metric::TransitionRate).1,
+        "fig10" => {
+            experiments::fig9_to_12(ctx, data, PredictorFamily::PAs, Metric::TransitionRate).1
+        }
         "fig11" => experiments::fig9_to_12(ctx, data, PredictorFamily::GAs, Metric::TakenRate).1,
-        "fig12" => experiments::fig9_to_12(ctx, data, PredictorFamily::GAs, Metric::TransitionRate).1,
+        "fig12" => {
+            experiments::fig9_to_12(ctx, data, PredictorFamily::GAs, Metric::TransitionRate).1
+        }
         "fig13" => experiments::fig13_14(ctx, data, PredictorFamily::PAs).1,
         "fig14" => experiments::fig13_14(ctx, data, PredictorFamily::GAs).1,
         "fig15" => experiments::fig15(ctx, data).1,
@@ -77,8 +85,25 @@ fn run_experiment(name: &str, ctx: &ExperimentContext, data: &SuiteData) -> Opti
 }
 
 const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation-binning", "ablation-hybrid",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation-binning",
+    "ablation-hybrid",
     "ablation-confidence",
 ];
 
@@ -90,6 +115,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Reject typos before paying for suite preparation.
+    if options.experiment != "all" && !ALL_EXPERIMENTS.contains(&options.experiment.as_str()) {
+        eprintln!(
+            "unknown experiment {:?}; valid names: {} or \"all\"",
+            options.experiment,
+            ALL_EXPERIMENTS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     let mut ctx = if options.quick {
         ExperimentContext::quick()
     } else {

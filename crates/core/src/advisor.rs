@@ -210,7 +210,8 @@ mod tests {
         assert!((total - 100.0).abs() < 1e-9);
         assert!(recs
             .iter()
-            .any(|r| r.style == ComponentStyle::NonPredictive && (r.dynamic_percent - 30.0).abs() < 1e-9));
+            .any(|r| r.style == ComponentStyle::NonPredictive
+                && (r.dynamic_percent - 30.0).abs() < 1e-9));
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl ClassHistoryMatrix {
         let metric = runs[0].1.metric();
         let scheme = runs[0].1.scheme();
         assert!(
-            runs.iter().all(|(_, r)| r.metric() == metric && r.scheme() == scheme),
+            runs.iter()
+                .all(|(_, r)| r.metric() == metric && r.scheme() == scheme),
             "all runs must use the same metric and binning scheme"
         );
         let history_lengths: Vec<u32> = runs.iter().map(|(h, _)| *h).collect();
@@ -336,9 +337,9 @@ mod tests {
 
     fn sample_profile() -> ProgramProfile {
         profile_with(&[
-            (0x10, 100, 97, 4),   // (10, 0) easy
-            (0x20, 100, 50, 50),  // (5, 5) hard
-            (0x30, 100, 50, 97),  // (5, 10) alternator
+            (0x10, 100, 97, 4),  // (10, 0) easy
+            (0x20, 100, 50, 50), // (5, 5) hard
+            (0x30, 100, 50, 97), // (5, 10) alternator
         ])
     }
 
@@ -347,8 +348,7 @@ mod tests {
         let profile = sample_profile();
         let misses = miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 95)]);
         let scheme = BinningScheme::Paper11;
-        let by_taken =
-            ClassMissRates::aggregate(&profile, Metric::TakenRate, scheme, &misses);
+        let by_taken = ClassMissRates::aggregate(&profile, Metric::TakenRate, scheme, &misses);
         // Class 10 contains only the biased branch.
         assert!((by_taken.miss_rate(ClassId(10)).unwrap() - 0.02).abs() < 1e-9);
         // Class 5 pools the hard branch and the alternator: (48 + 5) / 200.
@@ -400,8 +400,14 @@ mod tests {
         let profile = sample_profile();
         let scheme = BinningScheme::Paper11;
         let runs = vec![
-            (0u32, miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 2)])),
-            (2u32, miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 97)])),
+            (
+                0u32,
+                miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 2)]),
+            ),
+            (
+                2u32,
+                miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 97)]),
+            ),
         ];
         let matrix = JointMissMatrix::from_history_runs(&profile, scheme, &runs);
         // The 5/5 cell keeps its best (still bad) rate.

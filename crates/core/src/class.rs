@@ -29,9 +29,10 @@ impl fmt::Display for ClassId {
 }
 
 /// How a rate in `[0, 1]` is mapped to a class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinningScheme {
     /// The paper's 11 classes: `[0,5%)`, nine 10%-wide classes, `[95%,100%]`.
+    #[default]
     Paper11,
     /// `n` equal-width classes.
     Uniform(usize),
@@ -74,7 +75,7 @@ impl BinningScheme {
             }
             BinningScheme::Uniform(n) => {
                 assert!(*n > 0, "uniform binning needs at least one class");
-                (((rate * *n as f64) as usize).min(n - 1)) as usize
+                ((rate * *n as f64) as usize).min(n - 1)
             }
             BinningScheme::Chang6 => {
                 let permille = (rate * 1000.0).round() as i64;
@@ -163,12 +164,6 @@ impl BinningScheme {
     }
 }
 
-impl Default for BinningScheme {
-    fn default() -> Self {
-        BinningScheme::Paper11
-    }
-}
-
 impl fmt::Display for BinningScheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -229,10 +224,7 @@ mod tests {
             }
             // Rates at 0 and 1 always classify into the first / last class.
             assert_eq!(scheme.classify(0.0), ClassId(0));
-            assert_eq!(
-                scheme.classify(1.0),
-                ClassId(scheme.class_count() - 1)
-            );
+            assert_eq!(scheme.classify(1.0), ClassId(scheme.class_count() - 1));
         }
     }
 
@@ -253,7 +245,10 @@ mod tests {
     fn easy_class_sets() {
         let s = BinningScheme::Paper11;
         assert_eq!(s.taken_easy_classes(), vec![ClassId(0), ClassId(10)]);
-        assert_eq!(s.transition_easy_classes_gas(), vec![ClassId(0), ClassId(1)]);
+        assert_eq!(
+            s.transition_easy_classes_gas(),
+            vec![ClassId(0), ClassId(1)]
+        );
         assert_eq!(
             s.transition_easy_classes_pas(),
             vec![ClassId(0), ClassId(1), ClassId(9), ClassId(10)]

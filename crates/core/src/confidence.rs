@@ -73,10 +73,7 @@ impl ClassConfidence {
 
     /// Number of branches flagged high confidence.
     pub fn high_confidence_count(&self) -> usize {
-        self.assignments
-            .values()
-            .filter(|c| c.is_high())
-            .count()
+        self.assignments.values().filter(|c| c.is_high()).count()
     }
 
     /// Number of profiled branches.

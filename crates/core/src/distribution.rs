@@ -136,19 +136,14 @@ mod tests {
         assert!((taken.percent(ClassId(5)) - 10.0).abs() < 1e-9);
         assert_eq!(taken.dominant_class(), Some(ClassId(10)));
 
-        let transition =
-            ClassDistribution::from_profile(&profile, Metric::TransitionRate, scheme);
+        let transition = ClassDistribution::from_profile(&profile, Metric::TransitionRate, scheme);
         assert!((transition.percent(ClassId(0)) - 90.0).abs() < 1e-9);
         assert!((transition.percent(ClassId(5)) - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn percentages_sum_to_100_for_nonempty_profiles() {
-        let profile = profile_with(&[
-            (0x10, 10, 1, 1),
-            (0x20, 30, 29, 1),
-            (0x30, 60, 30, 59),
-        ]);
+        let profile = profile_with(&[(0x10, 10, 1, 1), (0x20, 30, 29, 1), (0x30, 60, 30, 59)]);
         for metric in [Metric::TakenRate, Metric::TransitionRate] {
             let d = ClassDistribution::from_profile(&profile, metric, BinningScheme::Paper11);
             let sum: f64 = d.percentages().iter().sum();

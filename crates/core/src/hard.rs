@@ -200,7 +200,9 @@ impl DistanceHistogram {
     /// All bucket percentages, in distance order (Figure 15's bars for one
     /// benchmark).
     pub fn percentages(&self) -> Vec<f64> {
-        (1..=self.max_distance).map(|d| self.percent_at(d)).collect()
+        (1..=self.max_distance)
+            .map(|d| self.percent_at(d))
+            .collect()
     }
 
     /// Percentage of pairs closer than `distance` (exclusive). A low value at
@@ -273,7 +275,10 @@ mod tests {
             easy_addr, easy_addr, hard_addr,
         ];
         for addr in order {
-            b.push(BranchRecord::conditional(BranchAddr::new(addr), Outcome::Taken));
+            b.push(BranchRecord::conditional(
+                BranchAddr::new(addr),
+                Outcome::Taken,
+            ));
         }
         let trace = b.build();
         let hard = hard_set_for(&[hard_addr], trace.conditional_count());
@@ -292,14 +297,20 @@ mod tests {
     fn long_gaps_pool_into_the_last_bucket() {
         let hard_addr = 0x100;
         let mut b = TraceBuilder::new("hist");
-        b.push(BranchRecord::conditional(BranchAddr::new(hard_addr), Outcome::Taken));
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(hard_addr),
+            Outcome::Taken,
+        ));
         for i in 0..20u64 {
             b.push(BranchRecord::conditional(
                 BranchAddr::new(0x200 + i * 4),
                 Outcome::Taken,
             ));
         }
-        b.push(BranchRecord::conditional(BranchAddr::new(hard_addr), Outcome::Taken));
+        b.push(BranchRecord::conditional(
+            BranchAddr::new(hard_addr),
+            Outcome::Taken,
+        ));
         let trace = b.build();
         let hard = hard_set_for(&[hard_addr], trace.conditional_count());
         let hist = DistanceHistogram::paper_buckets(&trace, &hard);

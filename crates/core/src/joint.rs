@@ -180,10 +180,10 @@ mod tests {
 
     fn sample_profile() -> ProgramProfile {
         profile_with(&[
-            (0x10, 400, 392, 8),  // taken 98%, transition 2%  -> (10, 0)
-            (0x20, 300, 9, 12),   // taken 3%, transition 4%   -> (0, 0)
+            (0x10, 400, 392, 8),   // taken 98%, transition 2%  -> (10, 0)
+            (0x20, 300, 9, 12),    // taken 3%, transition 4%   -> (0, 0)
             (0x30, 200, 100, 100), // 50% / 50%                -> (5, 5)
-            (0x40, 100, 50, 97),  // 50% / 97%                 -> (5, 10)
+            (0x40, 100, 50, 97),   // 50% / 97%                 -> (5, 10)
         ])
     }
 
@@ -210,9 +210,7 @@ mod tests {
         assert!(table.taken_marginal_matches(&taken));
         let transition_totals = table.transition_totals();
         for class in scheme.classes() {
-            assert!(
-                (transition_totals[class.index()] - transition.percent(class)).abs() < 1e-9
-            );
+            assert!((transition_totals[class.index()] - transition.percent(class)).abs() < 1e-9);
         }
     }
 

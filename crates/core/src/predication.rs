@@ -158,8 +158,11 @@ mod tests {
 
     #[test]
     fn verdicts_follow_the_papers_reasoning() {
-        let candidates =
-            select_candidates(&profile(), BinningScheme::Paper11, PredicationPolicy::default());
+        let candidates = select_candidates(
+            &profile(),
+            BinningScheme::Paper11,
+            PredicationPolicy::default(),
+        );
         assert_eq!(candidates.len(), 3);
         let by_addr = |a: u64| {
             candidates
@@ -177,8 +180,11 @@ mod tests {
 
     #[test]
     fn summary_counts_recommended_branches() {
-        let candidates =
-            select_candidates(&profile(), BinningScheme::Paper11, PredicationPolicy::default());
+        let candidates = select_candidates(
+            &profile(),
+            BinningScheme::Paper11,
+            PredicationPolicy::default(),
+        );
         let summary = PredicationSummary::from_candidates(&candidates);
         assert_eq!(summary.recommended, 1);
         assert!(summary.recommended_dynamic_percent > 0.0);

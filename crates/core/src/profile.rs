@@ -26,7 +26,7 @@ impl BranchProfile {
     pub fn new(addr: BranchAddr, executions: u64, taken: u64, transitions: u64) -> Self {
         assert!(taken <= executions, "taken count exceeds executions");
         assert!(
-            executions == 0 || transitions <= executions - 1,
+            executions == 0 || transitions < executions,
             "transition count exceeds executions - 1"
         );
         BranchProfile {
@@ -297,9 +297,9 @@ mod tests {
     #[test]
     fn select_by_class_picks_matching_branches() {
         let p: ProgramProfile = vec![
-            profile(0x10, 100, 50, 50),  // 5/5
-            profile(0x20, 100, 97, 4),   // 10/0
-            profile(0x30, 100, 52, 48),  // 5/5-ish
+            profile(0x10, 100, 50, 50), // 5/5
+            profile(0x20, 100, 97, 4),  // 10/0
+            profile(0x30, 100, 52, 48), // 5/5-ish
         ]
         .into_iter()
         .collect();

@@ -101,7 +101,10 @@ mod tests {
     fn from_counts_handles_zero_total() {
         assert_eq!(TakenRate::from_counts(3, 4), Some(TakenRate::new(0.75)));
         assert_eq!(TakenRate::from_counts(0, 0), None);
-        assert_eq!(TransitionRate::from_counts(1, 2), Some(TransitionRate::new(0.5)));
+        assert_eq!(
+            TransitionRate::from_counts(1, 2),
+            Some(TransitionRate::new(0.5))
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ pub fn render_history_curves(
     for (idx, &history) in matrix.history_lengths().iter().enumerate() {
         let mut row = vec![history.to_string()];
         for &c in classes {
-            let rate = matrix.row(crate::class::ClassId(c)).get(idx).copied().flatten();
+            let rate = matrix
+                .row(crate::class::ClassId(c))
+                .get(idx)
+                .copied()
+                .flatten();
             row.push(fmt_opt_rate(rate));
         }
         rows.push(row);
@@ -134,7 +138,10 @@ pub fn render_history_curves(
 pub fn render_joint_miss_matrix(title: &str, matrix: &JointMissMatrix) -> String {
     let scheme = matrix.scheme();
     const SHADES: [char; 6] = ['.', ':', '+', 'x', 'X', '#'];
-    let mut out = format!("{title}\n      taken class 0..{}\n", scheme.class_count() - 1);
+    let mut out = format!(
+        "{title}\n      taken class 0..{}\n",
+        scheme.class_count() - 1
+    );
     for transition in scheme.classes() {
         out.push_str(&format!("tr {:>2} ", transition.index()));
         for taken in scheme.classes() {
@@ -143,7 +150,8 @@ pub fn render_joint_miss_matrix(title: &str, matrix: &JointMissMatrix) -> String
                 Some(rate) => {
                     let idx = ((rate / 0.5) * (SHADES.len() as f64 - 1.0))
                         .round()
-                        .clamp(0.0, SHADES.len() as f64 - 1.0) as usize;
+                        .clamp(0.0, SHADES.len() as f64 - 1.0)
+                        as usize;
                     SHADES[idx]
                 }
             };

@@ -1,0 +1,109 @@
+//! Edge cases for the two rate metrics and the paper's binning scheme:
+//! degenerate execution counts, boundary streams and boundary rate values.
+//!
+//! The transition-rate denominator in this reproduction is the execution
+//! count `n` (as in the paper's definition over the dynamic stream), not
+//! `n - 1` pairs — so a branch executed exactly once has a *defined*
+//! transition rate of 0 rather than a 0/0 singularity, and only a branch
+//! that never executed yields `None`.
+
+use btr_core::class::{BinningScheme, ClassId};
+use btr_core::profile::BranchProfile;
+use btr_core::rates::{TakenRate, TransitionRate};
+use btr_trace::BranchAddr;
+
+const SCHEME: BinningScheme = BinningScheme::Paper11;
+
+fn addr() -> BranchAddr {
+    BranchAddr::new(0x40_0100)
+}
+
+#[test]
+fn single_execution_branch_has_zero_transition_rate_not_a_singularity() {
+    // One execution: zero adjacent pairs exist, so the n-1 pair count is 0.
+    // With the n denominator the rate is 0/1 = 0, never 0/0.
+    let branch = BranchProfile::new(addr(), 1, 1, 0);
+    assert_eq!(branch.taken_rate(), Some(TakenRate::new(1.0)));
+    assert_eq!(branch.transition_rate(), Some(TransitionRate::new(0.0)));
+    assert_eq!(branch.joint_class(SCHEME), Some((ClassId(10), ClassId(0))));
+}
+
+#[test]
+fn never_executed_branch_has_no_rates_at_all() {
+    let branch = BranchProfile::new(addr(), 0, 0, 0);
+    assert_eq!(branch.taken_rate(), None);
+    assert_eq!(branch.transition_rate(), None);
+    assert_eq!(branch.joint_class(SCHEME), None);
+    // The undefined case surfaces through from_counts, not a panic.
+    assert_eq!(TransitionRate::from_counts(0, 0), None);
+}
+
+#[test]
+#[should_panic(expected = "transition count exceeds")]
+fn single_execution_branch_cannot_claim_a_transition() {
+    // A transition needs a preceding execution of the same branch.
+    let _ = BranchProfile::new(addr(), 1, 1, 1);
+}
+
+#[test]
+fn all_taken_stream_sits_on_the_easy_corner() {
+    let n = 1000;
+    let branch = BranchProfile::new(addr(), n, n, 0);
+    let taken = branch.taken_rate().unwrap();
+    let transition = branch.transition_rate().unwrap();
+    assert_eq!(taken.value(), 1.0);
+    assert_eq!(transition.value(), 0.0);
+    // Feasibility bound is tight here: a fully biased branch cannot
+    // transition at all.
+    assert_eq!(taken.max_transition_rate(), TransitionRate::new(0.0));
+    assert_eq!(branch.joint_class(SCHEME), Some((ClassId(10), ClassId(0))));
+}
+
+#[test]
+fn perfectly_alternating_stream_sits_on_the_other_easy_corner() {
+    // T N T N ... over n executions: n/2 taken, n-1 transitions.
+    let n = 1000u64;
+    let branch = BranchProfile::new(addr(), n, n / 2, n - 1);
+    let taken = branch.taken_rate().unwrap();
+    let transition = branch.transition_rate().unwrap();
+    assert_eq!(taken.value(), 0.5);
+    assert_eq!(transition.value(), (n - 1) as f64 / n as f64);
+    // (n-1)/n never exceeds the feasibility limit 2*min(p, 1-p) = 1...
+    assert!(transition.value() <= taken.max_transition_rate().value());
+    // ...and for large n it lands in transition class 10: hard by bias,
+    // trivially easy by transition rate (the paper's headline case).
+    assert_eq!(branch.joint_class(SCHEME), Some((ClassId(5), ClassId(10))));
+}
+
+#[test]
+fn shortest_possible_alternating_stream() {
+    // T N: two executions, one transition — rate 1/2, the largest value a
+    // two-execution branch can reach.
+    let branch = BranchProfile::new(addr(), 2, 1, 1);
+    assert_eq!(branch.transition_rate(), Some(TransitionRate::new(0.5)));
+    assert_eq!(branch.taken_rate(), Some(TakenRate::new(0.5)));
+}
+
+#[test]
+fn paper11_boundary_values_classify_to_the_corner_classes() {
+    // Class 0 is [0%, 5%); class 10 is [95%, 100%].
+    assert_eq!(SCHEME.classify(0.0), ClassId(0));
+    assert_eq!(SCHEME.classify(0.049), ClassId(0));
+    assert_eq!(SCHEME.classify(0.05), ClassId(1));
+    assert_eq!(SCHEME.classify(0.949), ClassId(9));
+    assert_eq!(SCHEME.classify(0.95), ClassId(10));
+    assert_eq!(SCHEME.classify(1.0), ClassId(10));
+}
+
+#[test]
+fn rates_accept_both_endpoints_of_the_unit_interval() {
+    assert_eq!(TakenRate::new(0.0).percent(), 0.0);
+    assert_eq!(TakenRate::new(1.0).percent(), 100.0);
+    assert_eq!(TransitionRate::new(0.0).distance_from_even(), 0.5);
+    assert_eq!(TransitionRate::new(1.0).distance_from_even(), 0.5);
+    // 100% transition rate is only feasible at exactly 50% taken rate.
+    assert_eq!(
+        TakenRate::new(0.5).max_transition_rate(),
+        TransitionRate::new(1.0)
+    );
+}

@@ -73,7 +73,11 @@ impl BranchPredictor for AgreePredictor {
     }
 
     fn name(&self) -> String {
-        format!("agree(h={},2^{})", self.history.bits(), self.pht.index_bits())
+        format!(
+            "agree(h={},2^{})",
+            self.history.bits(),
+            self.pht.index_bits()
+        )
     }
 
     fn storage_bits(&self) -> u64 {

@@ -127,6 +127,9 @@ mod tests {
             }
         }
         let accuracy = hits as f64 / n as f64;
-        assert!(accuracy < 0.6, "bimodal should not predict alternation well, got {accuracy}");
+        assert!(
+            accuracy < 0.6,
+            "bimodal should not predict alternation well, got {accuracy}"
+        );
     }
 }

@@ -72,14 +72,14 @@ impl HardwareBudget {
             return None;
         }
         let entries = self.bits / entry_bits;
-        Some(63 - entries.leading_zeros() as u32).map(|x| x.min(63))
+        Some((63 - entries.leading_zeros()).min(63))
     }
 }
 
 impl fmt::Display for HardwareBudget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let bytes = self.bytes();
-        if bytes >= 1024 && bytes % 1024 == 0 {
+        if bytes >= 1024 && bytes.is_multiple_of(1024) {
             write!(f, "{} KiB", bytes / 1024)
         } else {
             write!(f, "{bytes} B")

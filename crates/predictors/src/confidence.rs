@@ -227,8 +227,7 @@ impl ConfidenceEstimator for JacobsenTwoLevel {
             self.counters[pattern].reset();
         }
         let mask = (1u32 << self.history_bits) - 1;
-        self.histories[slot] =
-            ((self.histories[slot] << 1) | u32::from(prediction_correct)) & mask;
+        self.histories[slot] = ((self.histories[slot] << 1) | u32::from(prediction_correct)) & mask;
     }
 
     fn name(&self) -> String {

@@ -34,7 +34,7 @@ impl SaturatingCounter {
     ///
     /// Panics if `bits` is zero or greater than 7.
     pub fn new(bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= 7, "counter width must be 1..=7 bits");
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
         let mid = 1u8 << (bits - 1);
         SaturatingCounter {
             bits,
@@ -48,7 +48,7 @@ impl SaturatingCounter {
     ///
     /// Panics if `bits` is outside `1..=7` or `value` does not fit in `bits`.
     pub fn with_value(bits: u8, value: u8) -> Self {
-        assert!(bits >= 1 && bits <= 7, "counter width must be 1..=7 bits");
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
         assert!(value <= Self::max_for(bits), "initial value out of range");
         SaturatingCounter { bits, value }
     }

@@ -146,7 +146,7 @@ mod tests {
         let mut with_filter = FilterPredictor::new(4, GsharePredictor::new(4, 0));
         let hot = BranchAddr::new(0x10);
         let alias = BranchAddr::new(0x10 + (16 << 2)); // same backend slot as `hot`
-        // Saturate the filter for the hot always-taken branch.
+                                                       // Saturate the filter for the hot always-taken branch.
         for _ in 0..50 {
             with_filter.update(hot, Outcome::Taken);
         }
@@ -159,7 +159,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 90, "filtering should shield the aliased branch, got {hits}");
+        assert!(
+            hits > 90,
+            "filtering should shield the aliased branch, got {hits}"
+        );
     }
 
     #[test]

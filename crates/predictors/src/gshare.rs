@@ -60,7 +60,11 @@ impl BranchPredictor for GsharePredictor {
     }
 
     fn name(&self) -> String {
-        format!("gshare(h={},2^{})", self.history.bits(), self.pht.index_bits())
+        format!(
+            "gshare(h={},2^{})",
+            self.history.bits(),
+            self.pht.index_bits()
+        )
     }
 
     fn storage_bits(&self) -> u64 {

@@ -74,7 +74,10 @@ impl BranchHistoryTable {
     ///
     /// Panics if `index_bits > 28` (an absurd size) or `history_bits > 32`.
     pub fn new(index_bits: u32, history_bits: u32) -> Self {
-        assert!(index_bits <= 28, "BHT larger than 2^28 entries is unsupported");
+        assert!(
+            index_bits <= 28,
+            "BHT larger than 2^28 entries is unsupported"
+        );
         let entries = vec![HistoryRegister::new(history_bits); 1usize << index_bits];
         BranchHistoryTable {
             index_bits,

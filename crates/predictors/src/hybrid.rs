@@ -84,7 +84,9 @@ impl<A: BranchPredictor, B: BranchPredictor> BranchPredictor for McFarlingHybrid
     }
 
     fn storage_bits(&self) -> u64 {
-        self.component_a.storage_bits() + self.component_b.storage_bits() + self.choice.storage_bits()
+        self.component_a.storage_bits()
+            + self.component_b.storage_bits()
+            + self.choice.storage_bits()
     }
 }
 
@@ -103,7 +105,10 @@ pub struct ClassifiedHybrid {
 impl std::fmt::Debug for ClassifiedHybrid {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClassifiedHybrid")
-            .field("components", &self.components.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field(
+                "components",
+                &self.components.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
             .field("assigned_branches", &self.assignment.len())
             .field("default_component", &self.default_component)
             .finish()
@@ -120,7 +125,10 @@ impl ClassifiedHybrid {
     ///
     /// Panics if `components` is empty or `default_component` is out of range.
     pub fn new(components: Vec<Box<dyn BranchPredictor>>, default_component: usize) -> Self {
-        assert!(!components.is_empty(), "a hybrid needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "a hybrid needs at least one component"
+        );
         assert!(
             default_component < components.len(),
             "default component index out of range"
@@ -138,7 +146,10 @@ impl ClassifiedHybrid {
     ///
     /// Panics if `component` is out of range.
     pub fn assign(&mut self, addr: BranchAddr, component: usize) {
-        assert!(component < self.components.len(), "component index out of range");
+        assert!(
+            component < self.components.len(),
+            "component index out of range"
+        );
         self.assignment.insert(addr, component);
     }
 

@@ -23,7 +23,10 @@ impl PatternHistoryTable {
     ///
     /// Panics if `index_bits > 28` or the counter width is invalid.
     pub fn new(index_bits: u32, counter_bits: u8) -> Self {
-        assert!(index_bits <= 28, "PHT larger than 2^28 entries is unsupported");
+        assert!(
+            index_bits <= 28,
+            "PHT larger than 2^28 entries is unsupported"
+        );
         let counters = vec![SaturatingCounter::new(counter_bits); 1usize << index_bits];
         PatternHistoryTable {
             index_bits,

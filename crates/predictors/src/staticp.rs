@@ -70,13 +70,11 @@ impl BranchPredictor for StaticPredictor {
         match self.rule {
             StaticRule::AlwaysTaken => Outcome::Taken,
             StaticRule::AlwaysNotTaken => Outcome::NotTaken,
-            StaticRule::BackwardTakenForwardNotTaken => {
-                match self.backward.get(&addr) {
-                    Some(true) => Outcome::Taken,
-                    Some(false) => Outcome::NotTaken,
-                    None => Outcome::Taken,
-                }
-            }
+            StaticRule::BackwardTakenForwardNotTaken => match self.backward.get(&addr) {
+                Some(true) => Outcome::Taken,
+                Some(false) => Outcome::NotTaken,
+                None => Outcome::Taken,
+            },
         }
     }
 

@@ -76,7 +76,10 @@ impl TwoLevelConfig {
     ///
     /// Panics if `k > 17`.
     pub fn gas_paper(k: u32) -> Self {
-        assert!(k <= 17, "GAs history length must be at most 17 under a 32 KB budget");
+        assert!(
+            k <= 17,
+            "GAs history length must be at most 17 under a 32 KB budget"
+        );
         TwoLevelConfig {
             scheme: TwoLevelScheme::GAs,
             history_bits: k,
@@ -96,7 +99,10 @@ impl TwoLevelConfig {
     ///
     /// Panics if `k > 16`.
     pub fn pas_paper(k: u32) -> Self {
-        assert!(k <= 16, "PAs history length must be at most 16 under a 32 KB budget");
+        assert!(
+            k <= 16,
+            "PAs history length must be at most 16 under a 32 KB budget"
+        );
         if k == 0 {
             return TwoLevelConfig {
                 scheme: TwoLevelScheme::PAs,
@@ -393,7 +399,9 @@ mod tests {
         let mut state = 0x12345678u64;
         for i in 0..4000u32 {
             // Pseudo-random direction for A (deterministic LCG).
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a_taken = (state >> 33) & 1 == 1;
             gas.access(a, Outcome::from_bool(a_taken));
             let b_outcome = Outcome::from_bool(a_taken);

@@ -14,21 +14,11 @@ use btr_trace::{BranchAddr, Outcome};
 use serde::{Deserialize, Serialize};
 
 /// One entry of a YAGS exception cache: a partial tag plus a 2-bit counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 struct CacheEntry {
     tag: u16,
     counter: SaturatingCounter,
     valid: bool,
-}
-
-impl Default for CacheEntry {
-    fn default() -> Self {
-        CacheEntry {
-            tag: 0,
-            counter: SaturatingCounter::two_bit(),
-            valid: false,
-        }
-    }
 }
 
 /// A direct-mapped, partially tagged exception cache.
@@ -102,7 +92,12 @@ impl YagsPredictor {
     /// # Panics
     ///
     /// Panics if `history_bits > cache_index_bits`.
-    pub fn new(choice_index_bits: u32, cache_index_bits: u32, tag_bits: u32, history_bits: u32) -> Self {
+    pub fn new(
+        choice_index_bits: u32,
+        cache_index_bits: u32,
+        tag_bits: u32,
+        history_bits: u32,
+    ) -> Self {
         assert!(
             history_bits <= cache_index_bits,
             "yags history ({history_bits}) must not exceed cache index width ({cache_index_bits})"
@@ -145,7 +140,9 @@ impl BranchPredictor for YagsPredictor {
         match bias {
             Outcome::Taken => {
                 // Cache not-taken exceptions; update an existing entry either way.
-                if outcome == Outcome::NotTaken || self.not_taken_cache.lookup(addr, history).is_some() {
+                if outcome == Outcome::NotTaken
+                    || self.not_taken_cache.lookup(addr, history).is_some()
+                {
                     self.not_taken_cache.train(addr, history, outcome);
                 }
             }
@@ -211,7 +208,10 @@ mod tests {
             }
         }
         let accuracy = f64::from(hits_tail) / f64::from(n - warmup);
-        assert!(accuracy > 0.9, "yags should learn periodic exceptions, got {accuracy}");
+        assert!(
+            accuracy > 0.9,
+            "yags should learn periodic exceptions, got {accuracy}"
+        );
     }
 
     #[test]

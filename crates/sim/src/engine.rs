@@ -67,7 +67,11 @@ impl SimEngine {
                 continue;
             }
             result.overall.record(hit);
-            result.per_branch.entry(record.addr()).or_default().record(hit);
+            result
+                .per_branch
+                .entry(record.addr())
+                .or_default()
+                .record(hit);
         }
         result
     }
@@ -83,7 +87,10 @@ mod tests {
         let mut b = TraceBuilder::new("alt");
         let addr = BranchAddr::new(0x1000);
         for i in 0..n {
-            b.push(BranchRecord::conditional(addr, Outcome::from_bool(i % 2 == 0)));
+            b.push(BranchRecord::conditional(
+                addr,
+                Outcome::from_bool(i % 2 == 0),
+            ));
         }
         b.build()
     }
@@ -93,7 +100,10 @@ mod tests {
         let mut b = TraceBuilder::new("biased");
         let addr = BranchAddr::new(0x2000);
         for i in 0..100u32 {
-            b.push(BranchRecord::conditional(addr, Outcome::from_bool(i % 10 != 0)));
+            b.push(BranchRecord::conditional(
+                addr,
+                Outcome::from_bool(i % 10 != 0),
+            ));
         }
         let trace = b.build();
         let result = SimEngine::new().run(&trace, &mut *PredictorKind::StaticTaken.build());
@@ -127,7 +137,10 @@ mod tests {
     fn merge_combines_per_branch_statistics() {
         let t1 = alternating_trace(100);
         let mut t2_builder = TraceBuilder::new("other");
-        t2_builder.push(BranchRecord::conditional(BranchAddr::new(0x9000), Outcome::Taken));
+        t2_builder.push(BranchRecord::conditional(
+            BranchAddr::new(0x9000),
+            Outcome::Taken,
+        ));
         let t2 = t2_builder.build();
         let engine = SimEngine::new();
         let mut a = engine.run(&t1, &mut *PredictorKind::StaticTaken.build());
@@ -140,7 +153,8 @@ mod tests {
     #[test]
     fn empty_trace_produces_empty_result() {
         let trace = TraceBuilder::new("empty").build();
-        let result = SimEngine::new().run(&trace, &mut *PredictorKind::GAsPaper { history: 4 }.build());
+        let result =
+            SimEngine::new().run(&trace, &mut *PredictorKind::GAsPaper { history: 4 }.build());
         assert_eq!(result.overall.lookups, 0);
         assert_eq!(result.miss_rate(), None);
         assert!(result.per_branch.is_empty());

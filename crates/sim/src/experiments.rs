@@ -18,7 +18,9 @@ use btr_core::hard::{DistanceHistogram, HardBranchCriteria, HardBranchSet};
 use btr_core::joint::JointClassTable;
 use btr_core::profile::ProgramProfile;
 use btr_core::report;
-use btr_predictors::confidence::{ConfidenceEstimator, ConfidenceStats, JacobsenOneLevel, JacobsenTwoLevel};
+use btr_predictors::confidence::{
+    ConfidenceEstimator, ConfidenceStats, JacobsenOneLevel, JacobsenTwoLevel,
+};
 use btr_predictors::gshare::GsharePredictor;
 use btr_predictors::hybrid::McFarlingHybrid;
 use btr_predictors::predictor::BranchPredictor;
@@ -51,7 +53,9 @@ impl ExperimentContext {
             benchmarks: Benchmark::suite(),
             histories: (0..=16).collect(),
             scheme: BinningScheme::Paper11,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 
@@ -141,7 +145,13 @@ pub fn table1(ctx: &ExperimentContext, data: &SuiteData) -> (Vec<(String, u64, u
             })
             .collect::<Vec<_>>(),
     );
-    (rows, format!("Table 1 — benchmark inventory (scale {})\n{rendered}", ctx.suite.scale))
+    (
+        rows,
+        format!(
+            "Table 1 — benchmark inventory (scale {})\n{rendered}",
+            ctx.suite.scale
+        ),
+    )
 }
 
 /// Table 2: the joint class distribution plus the §4.2 coverage analysis.
@@ -222,7 +232,11 @@ pub fn fig3(
     let rendered = format!(
         "Figure 3 — miss rates by taken rate class (optimal history per class)\n{}",
         report::ascii_table(
-            &["taken class".to_string(), "PAs".to_string(), "GAs".to_string()],
+            &[
+                "taken class".to_string(),
+                "PAs".to_string(),
+                "GAs".to_string()
+            ],
             &optimal_rate_rows(ctx.scheme, &pas, &gas),
         )
     );
@@ -344,7 +358,8 @@ pub fn fig15(
     let mut table_rows = Vec::new();
     for trace in &data.traces {
         let profile = ProgramProfile::from_trace(trace);
-        let hard = HardBranchSet::from_profile(&profile, ctx.scheme, HardBranchCriteria::paper_5_5());
+        let hard =
+            HardBranchSet::from_profile(&profile, ctx.scheme, HardBranchCriteria::paper_5_5());
         let hist = DistanceHistogram::paper_buckets(trace, &hard);
         let label = trace.metadata().label();
         let mut row = vec![label.clone()];
@@ -413,18 +428,22 @@ where
 
 /// Ablation A2: the classification-guided hybrid of §5.4 against same-budget
 /// baselines.
-pub fn ablation_hybrid(
-    ctx: &ExperimentContext,
-    data: &SuiteData,
-) -> (Vec<(String, f64)>, String) {
+pub fn ablation_hybrid(ctx: &ExperimentContext, data: &SuiteData) -> (Vec<(String, f64)>, String) {
     let advisor = HybridAdvisor::new(ctx.scheme);
     let mut results: Vec<(String, f64)> = Vec::new();
 
-    let classified = run_predictor_over_suite(data, || Box::new(advisor.build_hybrid(&data.profile)));
-    results.push(("classified hybrid (§5.4)".to_string(), classified.miss_rate().unwrap_or(0.0)));
+    let classified =
+        run_predictor_over_suite(data, || Box::new(advisor.build_hybrid(&data.profile)));
+    results.push((
+        "classified hybrid (§5.4)".to_string(),
+        classified.miss_rate().unwrap_or(0.0),
+    ));
 
     let gshare = run_predictor_over_suite(data, || Box::new(GsharePredictor::paper_sized(12)));
-    results.push(("gshare(h=12)".to_string(), gshare.miss_rate().unwrap_or(0.0)));
+    results.push((
+        "gshare(h=12)".to_string(),
+        gshare.miss_rate().unwrap_or(0.0),
+    ));
 
     let mcfarling = run_predictor_over_suite(data, || {
         Box::new(McFarlingHybrid::new(
@@ -433,7 +452,10 @@ pub fn ablation_hybrid(
             14,
         ))
     });
-    results.push(("mcfarling(PAs8,GAs12)".to_string(), mcfarling.miss_rate().unwrap_or(0.0)));
+    results.push((
+        "mcfarling(PAs8,GAs12)".to_string(),
+        mcfarling.miss_rate().unwrap_or(0.0),
+    ));
 
     let pas_best = run_predictor_over_suite(data, || Box::new(TwoLevelPredictor::pas_paper(8)));
     results.push(("PAs(h=8)".to_string(), pas_best.miss_rate().unwrap_or(0.0)));
@@ -475,11 +497,17 @@ pub fn ablation_confidence(
         for record in trace.iter().filter(|r| r.kind().is_conditional()) {
             let correct = predictor.predict(record.addr()) == record.outcome();
             predictor.update(record.addr(), record.outcome());
-            stats[0].1.record(class_based.estimate(record.addr()), correct);
+            stats[0]
+                .1
+                .record(class_based.estimate(record.addr()), correct);
             class_based.update(record.addr(), correct);
-            stats[1].1.record(one_level.estimate(record.addr()), correct);
+            stats[1]
+                .1
+                .record(one_level.estimate(record.addr()), correct);
             one_level.update(record.addr(), correct);
-            stats[2].1.record(two_level.estimate(record.addr()), correct);
+            stats[2]
+                .1
+                .record(two_level.estimate(record.addr()), correct);
             two_level.update(record.addr(), correct);
         }
     }
@@ -541,7 +569,9 @@ mod tests {
         let (ctx, data) = quick_data();
         let (rows, rendered) = table1(&ctx, &data);
         assert_eq!(rows.len(), ctx.benchmarks.len());
-        assert!(rows.iter().all(|(_, paper, generated)| *paper > 0 && *generated > 0));
+        assert!(rows
+            .iter()
+            .all(|(_, paper, generated)| *paper > 0 && *generated > 0));
         assert!(rendered.contains("Table 1"));
         assert!(rendered.contains("compress(bigtest.in)"));
     }
@@ -613,11 +643,18 @@ mod tests {
     fn fig6_shows_zero_history_failing_on_high_transition_classes() {
         let (ctx, data) = quick_data();
         let (matrix, _) = fig5_to_8(&ctx, &data, PredictorFamily::PAs, Metric::TransitionRate);
-        // With zero history, high-transition branches are predicted based on
-        // their last direction — almost always wrong (the §4.2 observation).
+        // With zero history, high-transition branches defeat the per-address
+        // 2-bit counters (the §4.2 observation). On an alternating stream a
+        // 2-bit counter has two phase-dependent attractors: the weak-weak
+        // ping-pong misses 100%, while the strong/weak cycle misses 50% —
+        // and class 10 spans transition rates 95-100%, where the occasional
+        // repeated outcome re-syncs the counter into a strong state and the
+        // 50%-miss cycle. The suite therefore measures just under 0.5 here,
+        // so the bound certifies "counters are defeated" (~0.5), not the
+        // 1-bit last-direction model's near-100%.
         if let Some(rate0) = matrix.miss_at(ClassId(10), 0) {
             let rate2 = matrix.miss_at(ClassId(10), 2).unwrap();
-            assert!(rate0 > 0.5, "zero-history miss on class 10 was {rate0}");
+            assert!(rate0 > 0.4, "zero-history miss on class 10 was {rate0}");
             assert!(rate2 < rate0, "history should help class 10");
         }
     }
@@ -683,7 +720,10 @@ mod tests {
         // baselines (it routes easy branches to cheap components).
         let classified = hybrid[0].1;
         let gas = hybrid[4].1;
-        assert!(classified < gas + 0.05, "classified {classified} vs GAs {gas}");
+        assert!(
+            classified < gas + 0.05,
+            "classified {classified} vs GAs {gas}"
+        );
         assert!(r2.contains("Ablation A2"));
 
         let (confidence, r3) = ablation_confidence(&ctx, &data);

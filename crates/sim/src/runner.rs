@@ -61,11 +61,12 @@ impl SuiteRunner {
 
     /// Generates every benchmark trace, in parallel.
     pub fn generate_traces(&self) -> Vec<Trace> {
-        let results: Mutex<Vec<(usize, Trace)>> = Mutex::new(Vec::with_capacity(self.benchmarks.len()));
+        let results: Mutex<Vec<(usize, Trace)>> =
+            Mutex::new(Vec::with_capacity(self.benchmarks.len()));
         let next: Mutex<usize> = Mutex::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.min(self.benchmarks.len().max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = {
                         let mut guard = next.lock();
                         let idx = *guard;
@@ -79,8 +80,7 @@ impl SuiteRunner {
                     results.lock().push((idx, trace));
                 });
             }
-        })
-        .expect("trace generation worker panicked");
+        });
         let mut collected = results.into_inner();
         collected.sort_by_key(|(idx, _)| *idx);
         collected.into_iter().map(|(_, t)| t).collect()
@@ -105,12 +105,15 @@ impl SuiteRunner {
         family: PredictorFamily,
         histories: &[u32],
     ) -> SweepResult {
-        assert!(!histories.is_empty(), "at least one history length is required");
+        assert!(
+            !histories.is_empty(),
+            "at least one history length is required"
+        );
         let parts: Mutex<Vec<(u32, RunResult)>> = Mutex::new(Vec::with_capacity(histories.len()));
         let next: Mutex<usize> = Mutex::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.min(histories.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = {
                         let mut guard = next.lock();
                         let idx = *guard;
@@ -130,8 +133,7 @@ impl SuiteRunner {
                     parts.lock().push((history, merged));
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
         SweepResult::from_parts(family, parts.into_inner())
     }
 }

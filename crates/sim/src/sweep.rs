@@ -51,7 +51,10 @@ impl SweepResult {
 
     /// The per-branch statistics at one history length.
     pub fn per_branch(&self, history: u32) -> Option<&BranchMissMap> {
-        self.runs.iter().find(|(h, _)| *h == history).map(|(_, m)| m)
+        self.runs
+            .iter()
+            .find(|(h, _)| *h == history)
+            .map(|(_, m)| m)
     }
 
     /// The per-history `(history, BranchMissMap)` pairs.
@@ -79,7 +82,10 @@ impl SweepResult {
             .runs
             .iter()
             .map(|(h, misses)| {
-                (*h, ClassMissRates::aggregate(profile, metric, scheme, misses))
+                (
+                    *h,
+                    ClassMissRates::aggregate(profile, metric, scheme, misses),
+                )
             })
             .collect();
         ClassHistoryMatrix::from_runs(&runs)
@@ -111,7 +117,10 @@ impl HistorySweep {
     /// Panics if `histories` is empty or contains a length above the family's
     /// 32 KB-budget maximum.
     pub fn new(family: PredictorFamily, histories: Vec<u32>) -> Self {
-        assert!(!histories.is_empty(), "sweep needs at least one history length");
+        assert!(
+            !histories.is_empty(),
+            "sweep needs at least one history length"
+        );
         assert!(
             histories.iter().all(|h| *h <= family.max_history()),
             "history length exceeds the 32 KB budget for {}",
@@ -194,7 +203,10 @@ mod tests {
         let noisy = BranchAddr::new(0x3000);
         let mut state = 0x9e3779b97f4a7c15u64;
         for i in 0..3000u32 {
-            b.push(BranchRecord::conditional(biased, Outcome::from_bool(i % 50 != 0)));
+            b.push(BranchRecord::conditional(
+                biased,
+                Outcome::from_bool(i % 50 != 0),
+            ));
             b.push(BranchRecord::conditional(
                 alternating,
                 Outcome::from_bool(i % 2 == 0),
@@ -235,7 +247,10 @@ mod tests {
         let at0 = matrix.miss_at(ClassId(10), 0).unwrap();
         let at2 = matrix.miss_at(ClassId(10), 2).unwrap();
         assert!(at0 > 0.4, "history 0 should fail on alternation, got {at0}");
-        assert!(at2 < 0.05, "history 2 should capture alternation, got {at2}");
+        assert!(
+            at2 < 0.05,
+            "history 2 should capture alternation, got {at2}"
+        );
         let (best, _) = matrix.optimal_history(ClassId(10)).unwrap();
         assert!(best >= 1);
         // Transition class 0 (the biased branch) is fine even with 0 history.
@@ -251,7 +266,10 @@ mod tests {
         let joint = result.joint_miss_matrix(&profile, BinningScheme::Paper11);
         let (taken, transition, rate) = joint.worst_cell().unwrap();
         // The coin-flip branch lives near the 5/5 centre and stays near 50%.
-        assert!((4..=6).contains(&taken.index()), "worst taken class {taken}");
+        assert!(
+            (4..=6).contains(&taken.index()),
+            "worst taken class {taken}"
+        );
         assert!((4..=6).contains(&transition.index()));
         assert!(rate > 0.3);
     }
@@ -262,15 +280,31 @@ mod tests {
         let sweep = HistorySweep::new(PredictorFamily::PAs, vec![2]);
         let single = sweep.run(&[&trace]);
         let double = sweep.run(&[&trace, &trace]);
-        let single_lookups: u64 = single.per_branch(2).unwrap().values().map(|s| s.lookups).sum();
-        let double_lookups: u64 = double.per_branch(2).unwrap().values().map(|s| s.lookups).sum();
+        let single_lookups: u64 = single
+            .per_branch(2)
+            .unwrap()
+            .values()
+            .map(|s| s.lookups)
+            .sum();
+        let double_lookups: u64 = double
+            .per_branch(2)
+            .unwrap()
+            .values()
+            .map(|s| s.lookups)
+            .sum();
         assert_eq!(double_lookups, single_lookups * 2);
     }
 
     #[test]
     fn paper_and_coarse_sweeps_have_expected_shapes() {
-        assert_eq!(HistorySweep::paper(PredictorFamily::PAs).histories().len(), 17);
-        assert_eq!(HistorySweep::paper(PredictorFamily::GAs).histories()[16], 16);
+        assert_eq!(
+            HistorySweep::paper(PredictorFamily::PAs).histories().len(),
+            17
+        );
+        assert_eq!(
+            HistorySweep::paper(PredictorFamily::GAs).histories()[16],
+            16
+        );
         assert!(HistorySweep::coarse(PredictorFamily::PAs).histories().len() < 17);
         assert_eq!(
             HistorySweep::coarse(PredictorFamily::GAs).family(),

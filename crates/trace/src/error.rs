@@ -94,18 +94,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(TraceError, &str)> = vec![
-            (
-                TraceError::BadMagic { found: *b"XXXX" },
-                "bad trace magic",
-            ),
-            (
-                TraceError::UnsupportedVersion { found: 99 },
-                "version 99",
-            ),
-            (
-                TraceError::UnexpectedEof { context: "header" },
-                "header",
-            ),
+            (TraceError::BadMagic { found: *b"XXXX" }, "bad trace magic"),
+            (TraceError::UnsupportedVersion { found: 99 }, "version 99"),
+            (TraceError::UnexpectedEof { context: "header" }, "header"),
             (
                 TraceError::MalformedLine {
                     line: 7,
@@ -130,7 +121,7 @@ mod tests {
 
     #[test]
     fn io_errors_are_wrapped_with_source() {
-        let io_err = io::Error::new(io::ErrorKind::Other, "disk on fire");
+        let io_err = io::Error::other("disk on fire");
         let err = TraceError::from(io_err);
         assert!(err.to_string().contains("disk on fire"));
         assert!(err.source().is_some());

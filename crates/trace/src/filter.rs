@@ -25,12 +25,7 @@ impl<I: Iterator<Item = BranchRecord>> Iterator for ConditionalOnly<I> {
     type Item = BranchRecord;
 
     fn next(&mut self) -> Option<BranchRecord> {
-        for r in self.inner.by_ref() {
-            if r.kind().is_conditional() {
-                return Some(r);
-            }
-        }
-        None
+        self.inner.by_ref().find(|r| r.kind().is_conditional())
     }
 }
 
@@ -66,7 +61,7 @@ impl<I: Iterator<Item = BranchRecord>> Iterator for Sampled<I> {
 
     fn next(&mut self) -> Option<BranchRecord> {
         for r in self.inner.by_ref() {
-            let keep = self.index % self.period == 0;
+            let keep = self.index.is_multiple_of(self.period);
             self.index += 1;
             if keep {
                 return Some(r);
@@ -140,12 +135,8 @@ where
     type Item = BranchRecord;
 
     fn next(&mut self) -> Option<BranchRecord> {
-        for r in self.inner.by_ref() {
-            if (self.pred)(r.addr()) {
-                return Some(r);
-            }
-        }
-        None
+        let pred = &mut self.pred;
+        self.inner.by_ref().find(|r| pred(r.addr()))
     }
 }
 

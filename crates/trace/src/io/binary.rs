@@ -274,12 +274,12 @@ impl<R: Read> Iterator for BinaryRecordReader<R> {
 /// Fails on any decoding error or if the declared record count does not match
 /// the number of records present.
 pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace> {
-    let mut stream = BinaryRecordReader::new(reader)?;
+    let stream = BinaryRecordReader::new(reader)?;
     let declared = stream.declared_count();
     let mut builder = TraceBuilder::with_metadata(stream.metadata().clone());
     builder.reserve(declared.min(1 << 24) as usize);
     let mut actual = 0u64;
-    while let Some(record) = stream.next() {
+    for record in stream {
         builder.push(record?);
         actual += 1;
     }
@@ -294,7 +294,9 @@ mod tests {
     use super::*;
 
     fn sample_trace() -> Trace {
-        let mut b = TraceBuilder::new("gcc").with_input_set("cccp.i").with_seed(42);
+        let mut b = TraceBuilder::new("gcc")
+            .with_input_set("cccp.i")
+            .with_seed(42);
         b.push(BranchRecord::conditional(
             BranchAddr::new(0x0040_0100),
             Outcome::Taken,
@@ -360,7 +362,9 @@ mod tests {
         write_trace(&mut buf, &trace).unwrap();
         buf.truncate(buf.len() - 2);
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
-        assert!(matches!(err, TraceError::UnexpectedEof { .. }) || matches!(err, TraceError::Io(_)));
+        assert!(
+            matches!(err, TraceError::UnexpectedEof { .. }) || matches!(err, TraceError::Io(_))
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ mod tests {
     use super::*;
 
     fn sample_trace() -> Trace {
-        let mut b = TraceBuilder::new("perl").with_input_set("primes.pl").with_seed(3);
+        let mut b = TraceBuilder::new("perl")
+            .with_input_set("primes.pl")
+            .with_seed(3);
         b.push(BranchRecord::conditional(
             BranchAddr::new(0x0040_0100),
             Outcome::Taken,

@@ -268,13 +268,7 @@ impl BranchRecord {
 
 impl fmt::Display for BranchRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} {}",
-            self.kind.mnemonic(),
-            self.addr,
-            self.outcome
-        )?;
+        write!(f, "{} {} {}", self.kind.mnemonic(), self.addr, self.outcome)?;
         if let Some(t) = self.target {
             write!(f, " -> {t}")?;
         }
@@ -288,7 +282,7 @@ mod tests {
 
     #[test]
     fn addr_low_bits_strip_alignment() {
-        let a = BranchAddr::new(0b1011_00);
+        let a = BranchAddr::new(0b10_11_00);
         // The two alignment bits are shifted out first.
         assert_eq!(a.low_bits(4), 0b1011);
         assert_eq!(a.low_bits(2), 0b11);
@@ -338,11 +332,8 @@ mod tests {
         assert_eq!(fwd.is_backward(), Some(false));
         assert!(!fwd.is_taken_conditional());
 
-        let untargeted = BranchRecord::new(
-            BranchAddr::new(0x1000),
-            BranchKind::Return,
-            Outcome::Taken,
-        );
+        let untargeted =
+            BranchRecord::new(BranchAddr::new(0x1000), BranchKind::Return, Outcome::Taken);
         assert_eq!(untargeted.is_backward(), None);
         assert!(!untargeted.is_taken_conditional());
     }

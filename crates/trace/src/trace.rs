@@ -299,7 +299,9 @@ mod tests {
 
     #[test]
     fn metadata_label_formats() {
-        let m = TraceMetadata::named("gcc").with_input_set("cccp.i").with_seed(7);
+        let m = TraceMetadata::named("gcc")
+            .with_input_set("cccp.i")
+            .with_seed(7);
         assert_eq!(m.label(), "gcc(cccp.i)");
         assert_eq!(m.seed, Some(7));
         assert_eq!(TraceMetadata::named("go").label(), "go");
@@ -344,7 +346,9 @@ mod tests {
 
     #[test]
     fn iteration_and_display() {
-        let t: Trace = vec![rec(0x10, true), rec(0x14, false)].into_iter().collect();
+        let t: Trace = vec![rec(0x10, true), rec(0x14, false)]
+            .into_iter()
+            .collect();
         assert_eq!(t.iter().count(), 2);
         assert_eq!((&t).into_iter().count(), 2);
         let s = t.to_string();

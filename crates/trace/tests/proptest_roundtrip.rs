@@ -34,10 +34,16 @@ fn arb_record() -> impl Strategy<Value = BranchRecord> {
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    (proptest::collection::vec(arb_record(), 0..200), any::<u64>()).prop_map(|(records, seed)| {
-        let meta = TraceMetadata::named("prop").with_input_set("fuzz").with_seed(seed);
-        Trace::from_records(meta, records)
-    })
+    (
+        proptest::collection::vec(arb_record(), 0..200),
+        any::<u64>(),
+    )
+        .prop_map(|(records, seed)| {
+            let meta = TraceMetadata::named("prop")
+                .with_input_set("fuzz")
+                .with_seed(seed);
+            Trace::from_records(meta, records)
+        })
 }
 
 proptest! {
@@ -70,7 +76,7 @@ proptest! {
         prop_assert!(stats.taken() <= n);
         // A transition needs a predecessor, so there are at most n-1 of them.
         if n > 0 {
-            prop_assert!(stats.transitions() <= n - 1);
+            prop_assert!(stats.transitions() < n);
             let tf = stats.taken_fraction().unwrap();
             let xf = stats.transition_fraction().unwrap();
             prop_assert!((0.0..=1.0).contains(&tf));

@@ -213,7 +213,10 @@ mod tests {
         let mut upper = 0.0;
         for c in 0..CLASS_COUNT {
             let (lo, hi) = class_bounds(c);
-            assert!((lo - upper).abs() < 1e-12, "class {c} starts at {lo}, expected {upper}");
+            assert!(
+                (lo - upper).abs() < 1e-12,
+                "class {c} starts at {lo}, expected {upper}"
+            );
             assert!(hi > lo);
             upper = hi;
         }

@@ -20,7 +20,9 @@
 //! assert!(trace.conditional_count() > 0);
 //! ```
 
-use btr_trace::{BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder, TraceMetadata};
+use btr_trace::{
+    BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder, TraceMetadata,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -57,9 +59,17 @@ pub enum Condition {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum Element {
     /// A conditional branch with `skip` elements jumped over when taken.
-    Branch { addr: u64, condition: Condition, skip: usize },
+    Branch {
+        addr: u64,
+        condition: Condition,
+        skip: usize,
+    },
     /// The head of a counted loop whose body is the next `body_len` elements.
-    LoopHead { addr: u64, trip_count: u32, body_len: usize },
+    LoopHead {
+        addr: u64,
+        trip_count: u32,
+        body_len: usize,
+    },
     /// Straight-line work (no trace records, consumes one step).
     Work,
 }
@@ -104,7 +114,12 @@ impl CfgBuilder {
 
     /// Appends an `if`/`else` guarded by `condition`; the then-arm contains
     /// `then_work` work elements and the else-arm `else_work`.
-    pub fn if_else(&mut self, condition: Condition, then_work: usize, else_work: usize) -> &mut Self {
+    pub fn if_else(
+        &mut self,
+        condition: Condition,
+        then_work: usize,
+        else_work: usize,
+    ) -> &mut Self {
         let addr = self.alloc_addr();
         // Branch taken = skip the then-arm (like a real `beq` guarding a block).
         self.elements.push(Element::Branch {
@@ -112,13 +127,19 @@ impl CfgBuilder {
             condition,
             skip: then_work,
         });
-        self.elements.extend(std::iter::repeat(Element::Work).take(then_work));
-        self.elements.extend(std::iter::repeat(Element::Work).take(else_work));
+        self.elements
+            .extend(std::iter::repeat_n(Element::Work, then_work));
+        self.elements
+            .extend(std::iter::repeat_n(Element::Work, else_work));
         self
     }
 
     /// Appends a counted loop executing `body` `trip_count` times.
-    pub fn counted_loop<F: FnOnce(&mut CfgBuilder)>(&mut self, trip_count: u32, body: F) -> &mut Self {
+    pub fn counted_loop<F: FnOnce(&mut CfgBuilder)>(
+        &mut self,
+        trip_count: u32,
+        body: F,
+    ) -> &mut Self {
         let addr = self.alloc_addr();
         let mut inner = CfgBuilder {
             elements: Vec::new(),
@@ -204,7 +225,11 @@ impl CfgProgram {
                 step += 1;
                 match self.elements[pc] {
                     Element::Work => pc += 1,
-                    Element::Branch { addr, condition, skip } => {
+                    Element::Branch {
+                        addr,
+                        condition,
+                        skip,
+                    } => {
                         let taken = self.evaluate(condition, step, 0, &mut rng, prev_taken);
                         prev_taken = taken;
                         builder.push(
@@ -217,7 +242,11 @@ impl CfgProgram {
                         emitted += 1;
                         pc += if taken { skip + 1 } else { 1 };
                     }
-                    Element::LoopHead { addr, trip_count, body_len } => {
+                    Element::LoopHead {
+                        addr,
+                        trip_count,
+                        body_len,
+                    } => {
                         let iteration = counters[pc];
                         let taken = iteration + 1 < trip_count; // back edge taken while more iterations remain
                         prev_taken = taken;
@@ -311,7 +340,14 @@ mod tests {
     fn modulo_condition_creates_periodic_branch() {
         let mut b = CfgBuilder::new(0x3000);
         b.counted_loop(1000, |body| {
-            body.if_else(Condition::Modulo { period: 4, phase: 0 }, 1, 0);
+            body.if_else(
+                Condition::Modulo {
+                    period: 4,
+                    phase: 0,
+                },
+                1,
+                0,
+            );
         });
         let trace = b.build().interpret(30_000, 5);
         let stats = trace.stats().addr(BranchAddr::new(0x3008)).unwrap();
@@ -321,8 +357,14 @@ mod tests {
         // periodic (moderate taken rate, regular transitions).
         let taken = stats.taken_fraction().unwrap();
         let transition = stats.transition_fraction().unwrap();
-        assert!((0.1..=0.6).contains(&taken), "periodic branch taken rate {taken}");
-        assert!(transition > 0.15, "periodic branch transition rate {transition}");
+        assert!(
+            (0.1..=0.6).contains(&taken),
+            "periodic branch taken rate {taken}"
+        );
+        assert!(
+            transition > 0.15,
+            "periodic branch transition rate {transition}"
+        );
     }
 
     #[test]
@@ -339,8 +381,16 @@ mod tests {
         let trace = program.interpret(5_000, 2);
         assert_eq!(trace.static_conditional_count(), 2);
         // Inner back edge executes roughly 5x as often as the outer one.
-        let outer = trace.stats().addr(BranchAddr::new(0x4000)).unwrap().executions();
-        let inner = trace.stats().addr(BranchAddr::new(0x4008)).unwrap().executions();
+        let outer = trace
+            .stats()
+            .addr(BranchAddr::new(0x4000))
+            .unwrap()
+            .executions();
+        let inner = trace
+            .stats()
+            .addr(BranchAddr::new(0x4008))
+            .unwrap()
+            .executions();
         assert!(inner > outer * 3, "inner {inner} outer {outer}");
     }
 

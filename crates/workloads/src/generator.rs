@@ -182,7 +182,7 @@ impl WorkloadGenerator {
         // consecutively) spread across different loop bodies.
         let mut order: Vec<usize> = (0..self.branches.len()).collect();
         order.shuffle(rng);
-        let region_count = (self.branches.len() + self.region_size - 1) / self.region_size;
+        let region_count = self.branches.len().div_ceil(self.region_size);
         let region_members = |region: usize| {
             let start = region * self.region_size;
             let end = (start + self.region_size).min(order.len());
@@ -257,7 +257,13 @@ impl WorkloadGenerator {
 mod tests {
     use super::*;
 
-    fn spec(addr: u64, taken: f64, transition: f64, execs: u64, predictable: bool) -> StaticBranchSpec {
+    fn spec(
+        addr: u64,
+        taken: f64,
+        transition: f64,
+        execs: u64,
+        predictable: bool,
+    ) -> StaticBranchSpec {
         let taken_class = crate::cell::class_of(taken);
         let transition_class = crate::cell::class_of(transition);
         StaticBranchSpec {

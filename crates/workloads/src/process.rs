@@ -159,15 +159,15 @@ impl PeriodicPattern {
         };
         let mut pattern = Vec::with_capacity(length);
         if runs == 0 {
-            pattern.extend(std::iter::repeat(taken > 0).take(length));
+            pattern.extend(std::iter::repeat_n(taken > 0, length));
         } else {
             // Distribute the taken and not-taken outcomes across `runs` runs
             // each, interleaved T-run then N-run.
             for r in 0..runs {
                 let t_len = taken / runs + usize::from(r < taken % runs);
                 let n_len = not_taken / runs + usize::from(r < not_taken % runs);
-                pattern.extend(std::iter::repeat(true).take(t_len));
-                pattern.extend(std::iter::repeat(false).take(n_len));
+                pattern.extend(std::iter::repeat_n(true, t_len));
+                pattern.extend(std::iter::repeat_n(false, n_len));
             }
         }
         debug_assert_eq!(pattern.len(), length);
@@ -333,7 +333,13 @@ mod tests {
 
     #[test]
     fn markov_process_hits_its_target_rates() {
-        for (p, t) in [(0.5, 0.5), (0.9, 0.1), (0.5, 0.95), (0.2, 0.3), (0.975, 0.04)] {
+        for (p, t) in [
+            (0.5, 0.5),
+            (0.9, 0.1),
+            (0.5, 0.95),
+            (0.2, 0.3),
+            (0.975, 0.04),
+        ] {
             let mut m = MarkovProcess::from_rates(p, t).unwrap();
             let (taken, trans) = measure(&mut m, 200_000, 42);
             assert!((taken - p).abs() < 0.02, "taken {taken} vs target {p}");

@@ -104,12 +104,26 @@ impl Benchmark {
 
     /// 129.compress with the `bigtest.in` input.
     pub fn compress() -> Self {
-        Benchmark::new("compress", "bigtest.in", 5_641_834_221, 260, 0.0, 0x0040_0000)
+        Benchmark::new(
+            "compress",
+            "bigtest.in",
+            5_641_834_221,
+            260,
+            0.0,
+            0x0040_0000,
+        )
     }
 
     /// 126.gcc with one of its 24 input files.
     pub fn gcc(input_set: &str, paper_dynamic_branches: u64) -> Self {
-        Benchmark::new("gcc", input_set, paper_dynamic_branches, 7_000, 0.0, 0x0080_0000)
+        Benchmark::new(
+            "gcc",
+            input_set,
+            paper_dynamic_branches,
+            7_000,
+            0.0,
+            0x0080_0000,
+        )
     }
 
     /// 099.go with the `9stone21.in` input.
@@ -120,7 +134,14 @@ impl Benchmark {
     /// 132.ijpeg with one of its image inputs. ijpeg's hard branches occur in
     /// tight clusters (Figure 15), which the clustering fraction models.
     pub fn ijpeg(input_set: &str, paper_dynamic_branches: u64) -> Self {
-        Benchmark::new("ijpeg", input_set, paper_dynamic_branches, 1_300, 0.75, 0x0100_0000)
+        Benchmark::new(
+            "ijpeg",
+            input_set,
+            paper_dynamic_branches,
+            1_300,
+            0.75,
+            0x0100_0000,
+        )
     }
 
     /// 130.li with the reference Lisp workload.
@@ -135,12 +156,26 @@ impl Benchmark {
 
     /// 134.perl with one of its script inputs.
     pub fn perl(input_set: &str, paper_dynamic_branches: u64) -> Self {
-        Benchmark::new("perl", input_set, paper_dynamic_branches, 2_300, 0.0, 0x01c0_0000)
+        Benchmark::new(
+            "perl",
+            input_set,
+            paper_dynamic_branches,
+            2_300,
+            0.0,
+            0x01c0_0000,
+        )
     }
 
     /// 147.vortex with the `vortex.lit` input.
     pub fn vortex() -> Self {
-        Benchmark::new("vortex", "vortex.lit", 9_897_766_691, 5_600, 0.0, 0x0200_0000)
+        Benchmark::new(
+            "vortex",
+            "vortex.lit",
+            9_897_766_691,
+            5_600,
+            0.0,
+            0x0200_0000,
+        )
     }
 
     /// All 34 rows of the paper's Table 1, in the paper's order.
@@ -168,7 +203,9 @@ impl Benchmark {
 
     /// The dynamic branch count this benchmark will generate under `config`.
     pub fn scaled_dynamic_branches(&self, config: &SuiteConfig) -> u64 {
-        ((self.paper_dynamic_branches as f64) * config.scale).round().max(1.0) as u64
+        ((self.paper_dynamic_branches as f64) * config.scale)
+            .round()
+            .max(1.0) as u64
     }
 
     /// Deterministic per-benchmark seed derived from the suite seed.
@@ -316,7 +353,10 @@ mod tests {
     fn suite_total_matches_sum_of_rows() {
         let total = paper_suite_dynamic_branches();
         // ~47.5 billion dynamic conditional branches across the suite.
-        assert!(total > 45_000_000_000 && total < 50_000_000_000, "total {total}");
+        assert!(
+            total > 45_000_000_000 && total < 50_000_000_000,
+            "total {total}"
+        );
     }
 
     #[test]
@@ -372,7 +412,9 @@ mod tests {
     fn plan_covers_both_easy_and_hard_cells() {
         let cfg = SuiteConfig::default().with_scale(1e-6);
         let plan = Benchmark::vortex().plan(&cfg);
-        assert!(plan.iter().any(|s| s.cell.taken_class == 0 && s.cell.transition_class == 0));
+        assert!(plan
+            .iter()
+            .any(|s| s.cell.taken_class == 0 && s.cell.transition_class == 0));
         assert!(plan.iter().any(|s| s.cell.taken_class == 10));
         assert!(plan.iter().any(|s| s.is_hard()));
         // Dynamic weight of the always-taken corner should dominate, as in Table 2.

@@ -15,17 +15,39 @@ pub const CLASS_COUNT: usize = 11;
 /// branches, exactly as printed in the paper.
 pub const PAPER_TABLE2: [[f64; CLASS_COUNT]; CLASS_COUNT] = [
     // taken:  0      1      2      3      4      5      6      7      8      9      10
-    [26.11, 0.71, 0.01, 0.05, 0.04, 0.02, 0.07, 0.32, 0.69, 0.05, 32.73], // transition 0
-    [0.46, 2.12, 0.09, 0.09, 0.16, 0.06, 0.07, 0.03, 0.15, 4.00, 3.59],   // transition 1
-    [0.00, 2.27, 0.45, 0.11, 0.03, 0.04, 0.99, 0.06, 0.57, 2.97, 0.00],   // transition 2
-    [0.00, 0.10, 1.01, 0.28, 0.13, 0.20, 0.24, 0.30, 0.87, 0.05, 0.00],   // transition 3
-    [0.00, 0.00, 0.36, 0.70, 1.08, 0.30, 1.72, 0.52, 0.60, 0.00, 0.00],   // transition 4
-    [0.00, 0.00, 0.01, 1.77, 0.72, 1.34, 0.16, 0.92, 0.56, 0.00, 0.00],   // transition 5
-    [0.00, 0.00, 0.00, 0.71, 1.59, 0.45, 0.89, 1.21, 0.00, 0.00, 0.00],   // transition 6
-    [0.00, 0.00, 0.00, 0.03, 0.13, 0.53, 0.11, 0.40, 0.00, 0.00, 0.00],   // transition 7
-    [0.00, 0.00, 0.00, 0.00, 0.21, 0.06, 0.02, 0.00, 0.00, 0.00, 0.00],   // transition 8
-    [0.00, 0.00, 0.00, 0.00, 0.03, 0.07, 0.03, 0.00, 0.00, 0.00, 0.00],   // transition 9
-    [0.00, 0.00, 0.00, 0.00, 0.00, 0.44, 0.00, 0.00, 0.00, 0.00, 0.00],   // transition 10
+    [
+        26.11, 0.71, 0.01, 0.05, 0.04, 0.02, 0.07, 0.32, 0.69, 0.05, 32.73,
+    ], // transition 0
+    [
+        0.46, 2.12, 0.09, 0.09, 0.16, 0.06, 0.07, 0.03, 0.15, 4.00, 3.59,
+    ], // transition 1
+    [
+        0.00, 2.27, 0.45, 0.11, 0.03, 0.04, 0.99, 0.06, 0.57, 2.97, 0.00,
+    ], // transition 2
+    [
+        0.00, 0.10, 1.01, 0.28, 0.13, 0.20, 0.24, 0.30, 0.87, 0.05, 0.00,
+    ], // transition 3
+    [
+        0.00, 0.00, 0.36, 0.70, 1.08, 0.30, 1.72, 0.52, 0.60, 0.00, 0.00,
+    ], // transition 4
+    [
+        0.00, 0.00, 0.01, 1.77, 0.72, 1.34, 0.16, 0.92, 0.56, 0.00, 0.00,
+    ], // transition 5
+    [
+        0.00, 0.00, 0.00, 0.71, 1.59, 0.45, 0.89, 1.21, 0.00, 0.00, 0.00,
+    ], // transition 6
+    [
+        0.00, 0.00, 0.00, 0.03, 0.13, 0.53, 0.11, 0.40, 0.00, 0.00, 0.00,
+    ], // transition 7
+    [
+        0.00, 0.00, 0.00, 0.00, 0.21, 0.06, 0.02, 0.00, 0.00, 0.00, 0.00,
+    ], // transition 8
+    [
+        0.00, 0.00, 0.00, 0.00, 0.03, 0.07, 0.03, 0.00, 0.00, 0.00, 0.00,
+    ], // transition 9
+    [
+        0.00, 0.00, 0.00, 0.00, 0.00, 0.44, 0.00, 0.00, 0.00, 0.00, 0.00,
+    ], // transition 10
 ];
 
 /// Per-transition-class totals as printed in the paper's rightmost column.
@@ -63,7 +85,10 @@ pub const PAPER_MISCLASSIFIED_PAS: f64 = 9.29;
 /// Panics if either class index is 11 or larger.
 pub fn cell_percent(taken_class: usize, transition_class: usize) -> f64 {
     assert!(taken_class < CLASS_COUNT, "taken class out of range");
-    assert!(transition_class < CLASS_COUNT, "transition class out of range");
+    assert!(
+        transition_class < CLASS_COUNT,
+        "transition class out of range"
+    );
     PAPER_TABLE2[transition_class][taken_class]
 }
 

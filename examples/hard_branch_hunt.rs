@@ -6,7 +6,9 @@
 
 use btr::prelude::*;
 use btr_core::hard::{DistanceHistogram, HardBranchCriteria, HardBranchSet};
-use btr_core::predication::{select_candidates, PredicationPolicy, PredicationSummary, PredicationVerdict};
+use btr_core::predication::{
+    select_candidates, PredicationPolicy, PredicationSummary, PredicationVerdict,
+};
 use btr_workloads::spec::Benchmark;
 
 fn main() {
@@ -30,7 +32,10 @@ fn main() {
             hard.dynamic_percent()
         );
         let pct = histogram.percentages();
-        let labels: Vec<String> = (1..=7).map(|d| format!("d={d}")).chain(["d=8+".to_string()]).collect();
+        let labels: Vec<String> = (1..=7)
+            .map(|d| format!("d={d}"))
+            .chain(["d=8+".to_string()])
+            .collect();
         for (label, p) in labels.iter().zip(&pct) {
             println!("  {label:>5}: {p:5.1}%");
         }

@@ -27,7 +27,10 @@ fn main() {
     let scheme = BinningScheme::Paper11;
     let taken = ClassDistribution::from_profile(&profile, Metric::TakenRate, scheme);
     let transition = ClassDistribution::from_profile(&profile, Metric::TransitionRate, scheme);
-    println!("{}", report::render_distribution("Taken rate classes (cf. Figure 1)", &taken));
+    println!(
+        "{}",
+        report::render_distribution("Taken rate classes (cf. Figure 1)", &taken)
+    );
     println!(
         "{}",
         report::render_distribution("Transition rate classes (cf. Figure 2)", &transition)

@@ -16,7 +16,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut builder = CfgBuilder::new(0x0040_0000);
     builder.counted_loop(200, |record_loop| {
         record_loop.counted_loop(8, |field_loop| {
-            field_loop.if_else(Condition::Modulo { period: 3, phase: 1 }, 1, 1);
+            field_loop.if_else(
+                Condition::Modulo {
+                    period: 3,
+                    phase: 1,
+                },
+                1,
+                1,
+            );
         });
         record_loop.if_else(Condition::Random { p_taken: 0.5 }, 2, 2);
         record_loop.if_else(Condition::SameAsPrevious, 1, 0);
@@ -49,7 +56,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .windowed(0, 10_000)
         .sampled(100)
         .collect();
-    println!("sampled {} records from the first 10k (1 in 100)", sampled.len());
+    println!(
+        "sampled {} records from the first 10k (1 in 100)",
+        sampled.len()
+    );
 
     // Profile and report the hottest branch.
     let profile = ProgramProfile::from_trace(&trace);

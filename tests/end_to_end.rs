@@ -44,18 +44,28 @@ fn pas_handles_high_transition_classes_with_one_or_two_history_bits() {
     let (traces, profile) = mini_suite();
     let refs: Vec<&btr_trace::Trace> = traces.iter().collect();
     let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 1, 2, 4]).run(&refs);
-    let matrix = sweep.class_history_matrix(&profile, Metric::TransitionRate, BinningScheme::Paper11);
+    let matrix =
+        sweep.class_history_matrix(&profile, Metric::TransitionRate, BinningScheme::Paper11);
     // Transition class 10 exists in the calibrated workload and flips from
     // terrible (zero history) to excellent (>= 1 bit) — the §4.2 observation.
     let at0 = matrix.miss_at(ClassId(10), 0).expect("class 10 populated");
     let at2 = matrix.miss_at(ClassId(10), 2).expect("class 10 populated");
     assert!(at0 >= 0.4, "zero-history miss rate on class 10 was {at0}");
-    assert!(at2 < 0.15, "two-bit-history miss rate on class 10 was {at2}");
-    assert!(at2 < at0 / 2.0, "history should at least halve the class-10 miss rate");
+    assert!(
+        at2 < 0.15,
+        "two-bit-history miss rate on class 10 was {at2}"
+    );
+    assert!(
+        at2 < at0 / 2.0,
+        "history should at least halve the class-10 miss rate"
+    );
     // Low-transition classes are easy at every history length.
     for h in [0, 2, 4] {
         let rate = matrix.miss_at(ClassId(0), h).expect("class 0 populated");
-        assert!(rate < 0.12, "transition class 0 at history {h} missed {rate}");
+        assert!(
+            rate < 0.12,
+            "transition class 0 at history {h} missed {rate}"
+        );
     }
 }
 
@@ -86,7 +96,6 @@ fn joint_5_5_class_is_the_hardest_region_for_both_predictors() {
 #[test]
 fn classified_hybrid_is_competitive_with_monolithic_baselines() {
     use btr_core::advisor::HybridAdvisor;
-    use btr_predictors::predictor::BranchPredictor;
     let (traces, profile) = mini_suite();
     let advisor = HybridAdvisor::new(BinningScheme::Paper11);
     let engine = SimEngine::new();

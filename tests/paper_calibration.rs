@@ -48,7 +48,11 @@ fn joint_distribution_tracks_table2() {
         table2::cell_percent(0, 0)
     );
     // The hard centre is a small but non-empty share, as in the paper (1.34%).
-    assert!(class(5, 5) > 0.2 && class(5, 5) < 5.0, "cell (5,5) = {:.2}%", class(5, 5));
+    assert!(
+        class(5, 5) > 0.2 && class(5, 5) < 5.0,
+        "cell (5,5) = {:.2}%",
+        class(5, 5)
+    );
 }
 
 #[test]
@@ -94,8 +98,16 @@ fn marginal_distributions_match_figures_1_and_2_shape() {
     let taken_pct = taken.percentages();
     let transition_pct = transition.percentages();
     // Figure 1: bimodal, extremes dominate.
-    assert!(taken_pct[0] > 15.0, "taken class 0 share {:.2}", taken_pct[0]);
-    assert!(taken_pct[10] > 25.0, "taken class 10 share {:.2}", taken_pct[10]);
+    assert!(
+        taken_pct[0] > 15.0,
+        "taken class 0 share {:.2}",
+        taken_pct[0]
+    );
+    assert!(
+        taken_pct[10] > 25.0,
+        "taken class 10 share {:.2}",
+        taken_pct[10]
+    );
     // Figure 2: transition class 0 alone holds the majority.
     assert!(
         transition_pct[0] > 45.0,
@@ -114,15 +126,27 @@ fn table1_counts_are_reproduced_exactly_in_the_descriptors() {
     // Spot checks against the paper's Table 1.
     assert_eq!(suite.len(), 34);
     assert_eq!(
-        suite.iter().find(|b| b.input_set == "bigtest.in").unwrap().paper_dynamic_branches,
+        suite
+            .iter()
+            .find(|b| b.input_set == "bigtest.in")
+            .unwrap()
+            .paper_dynamic_branches,
         5_641_834_221
     );
     assert_eq!(
-        suite.iter().find(|b| b.input_set == "9stone21.in").unwrap().paper_dynamic_branches,
+        suite
+            .iter()
+            .find(|b| b.input_set == "9stone21.in")
+            .unwrap()
+            .paper_dynamic_branches,
         3_838_574_925
     );
     assert_eq!(
-        suite.iter().find(|b| b.input_set == "scrabbl.pl").unwrap().paper_dynamic_branches,
+        suite
+            .iter()
+            .find(|b| b.input_set == "scrabbl.pl")
+            .unwrap()
+            .paper_dynamic_branches,
         3_150_939_854
     );
     // And the scaled counts follow the scale factor.

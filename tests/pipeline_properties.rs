@@ -9,35 +9,42 @@ use btr_workloads::generator::{StaticBranchSpec, WorkloadGenerator};
 use proptest::prelude::*;
 
 fn arb_branch_spec(index: u64) -> impl Strategy<Value = Option<StaticBranchSpec>> {
-    (0usize..11, 0usize..11, 50u64..400, any::<bool>(), any::<u64>()).prop_map(
-        move |(taken_class, transition_class, executions, predictable, jitter)| {
-            let cell = JointCell::new(taken_class, transition_class);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(jitter);
-            use rand::SeedableRng;
-            let target = CellTarget::sample_within(cell, &mut rng)?;
-            Some(StaticBranchSpec {
-                addr: btr_trace::BranchAddr::new(0x40_0000 + index * 8),
-                cell,
-                target,
-                executions,
-                predictable,
-            })
-        },
+    (
+        0usize..11,
+        0usize..11,
+        50u64..400,
+        any::<bool>(),
+        any::<u64>(),
     )
+        .prop_map(
+            move |(taken_class, transition_class, executions, predictable, jitter)| {
+                let cell = JointCell::new(taken_class, transition_class);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(jitter);
+                use rand::SeedableRng;
+                let target = CellTarget::sample_within(cell, &mut rng)?;
+                Some(StaticBranchSpec {
+                    addr: btr_trace::BranchAddr::new(0x40_0000 + index * 8),
+                    cell,
+                    target,
+                    executions,
+                    predictable,
+                })
+            },
+        )
 }
 
 fn arb_workload() -> impl Strategy<Value = (u64, Vec<StaticBranchSpec>)> {
-    let specs = proptest::collection::vec(any::<prop::sample::Index>(), 1..12).prop_flat_map(|idx| {
-        let strategies: Vec<_> = idx
-            .iter()
-            .enumerate()
-            .map(|(i, _)| arb_branch_spec(i as u64))
-            .collect();
-        strategies
-    });
-    (any::<u64>(), specs).prop_map(|(seed, specs)| {
-        (seed, specs.into_iter().flatten().collect::<Vec<_>>())
-    })
+    let specs =
+        proptest::collection::vec(any::<prop::sample::Index>(), 1..12).prop_flat_map(|idx| {
+            let strategies: Vec<_> = idx
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_branch_spec(i as u64))
+                .collect();
+            strategies
+        });
+    (any::<u64>(), specs)
+        .prop_map(|(seed, specs)| (seed, specs.into_iter().flatten().collect::<Vec<_>>()))
 }
 
 proptest! {

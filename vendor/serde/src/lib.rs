@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive macro, like
+//! real serde with the `derive` feature) so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without network
+//! access. Both traits are empty markers with blanket impls; the derives
+//! expand to nothing. The workspace's on-disk formats are hand-written in
+//! `btr-trace::io` and do not depend on serde's data model.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Every type implements it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Every type implements it.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace decorates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that swapping in the real serde later is a one-line
+//! manifest change. This container has no network access to crates.io, so the
+//! derives expand to nothing: the actual trace serialization formats are
+//! hand-written in `btr-trace::io` and never go through serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes) and
+/// expands to nothing. The `Serialize` marker trait in the `serde` stub has a
+/// blanket impl, so trait bounds keep working.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
