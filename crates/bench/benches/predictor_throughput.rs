@@ -1,8 +1,11 @@
-//! Throughput of the predictor substrate: predictions+updates per second for
-//! the paper's PAs/GAs configurations and the baseline predictors.
+//! Throughput of the predictor substrate and of the two simulation-engine
+//! paths: the `dyn` + `BTreeMap` compatibility path versus the devirtualized,
+//! dense-indexed hot path over an interned trace.
 
 use btr_predictors::prelude::*;
-use btr_trace::{BranchAddr, Outcome};
+use btr_sim::config::PredictorKind;
+use btr_sim::engine::SimEngine;
+use btr_trace::{BranchAddr, BranchRecord, Outcome, Trace, TraceBuilder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn synthetic_stream(n: usize) -> Vec<(BranchAddr, Outcome)> {
@@ -17,6 +20,27 @@ fn synthetic_stream(n: usize) -> Vec<(BranchAddr, Outcome)> {
             (addr, outcome)
         })
         .collect()
+}
+
+/// A trace shaped like the generated suite: a few thousand static branches
+/// (deep `BTreeMap`, realistic table aliasing) with mixed behaviours.
+fn synthetic_trace(n: usize) -> Trace {
+    let mut b = TraceBuilder::new("throughput");
+    b.reserve(n);
+    let mut state = 0x0f0f_1234_cafe_f00du64;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let addr = BranchAddr::new(0x40_0000 + ((state >> 21) & 0xfff) * 4);
+        let taken = match (state >> 18) & 3 {
+            0 => i % 2 == 0,             // alternating
+            1 => true,                   // strongly biased
+            _ => (state >> 41) & 1 == 1, // noisy
+        };
+        b.push(BranchRecord::conditional(addr, Outcome::from_bool(taken)));
+    }
+    b.build()
 }
 
 type PredictorFactory = Box<dyn Fn() -> Box<dyn BranchPredictor>>;
@@ -67,6 +91,33 @@ fn bench_predictors(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The acceptance comparison for the devirtualized hot path: same trace,
+    // same predictor configuration, both engine paths. `engine_dyn_btreemap`
+    // is the historical per-record virtual-call + address-map path;
+    // `engine_interned_fused` is the dense-indexed monomorphized loop.
+    let trace = synthetic_trace(200_000);
+    let interned = trace.intern();
+    let records = trace.conditional_records().len() as u64;
+    let engine = SimEngine::new();
+    let mut group = c.benchmark_group("sim_engine_path");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+    for kind in [
+        PredictorKind::PAsPaper { history: 8 },
+        PredictorKind::GAsPaper { history: 12 },
+    ] {
+        group.bench_function(format!("dyn_btreemap/{}", kind.label()), |b| {
+            b.iter(|| engine.run(&trace, &mut *kind.build()))
+        });
+        group.bench_function(format!("interned_fused/{}", kind.label()), |b| {
+            b.iter(|| engine.run_dispatch(&interned, &mut kind.build_dispatch()))
+        });
+    }
+    // The one-off cost the interned path pays up front, for context: one
+    // interning pass is amortized over every (family × history) sweep point.
+    group.bench_function("intern_pass", |b| b.iter(|| trace.intern()));
     group.finish();
 }
 

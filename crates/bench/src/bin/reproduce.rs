@@ -16,6 +16,19 @@ use btr_sim::config::PredictorFamily;
 use btr_sim::experiments::{self, ExperimentContext, SuiteData};
 use std::env;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Runs one experiment and prints a `[timing]` line for it on stderr, so a
+/// `reproduce` run doubles as a coarse per-figure performance baseline.
+fn run_timed(name: &str, ctx: &ExperimentContext, data: &SuiteData) -> Option<String> {
+    let start = Instant::now();
+    let out = run_experiment(name, ctx, data)?;
+    eprintln!(
+        "[timing] {name:<20} {:>9.3} s",
+        start.elapsed().as_secs_f64()
+    );
+    Some(out)
+}
 
 struct Options {
     experiment: String,
@@ -138,21 +151,27 @@ fn main() -> ExitCode {
         ctx.suite.scale,
         ctx.histories.iter().max().copied().unwrap_or(0)
     );
+    let prepare_start = Instant::now();
     let data = ctx.prepare();
     eprintln!(
-        "suite ready: {} dynamic conditional branches, {} static branches\n",
+        "suite ready: {} dynamic conditional branches, {} static branches",
         data.profile.total_dynamic(),
         data.profile.static_count()
+    );
+    eprintln!(
+        "[timing] {:<20} {:>9.3} s\n",
+        "prepare-suite",
+        prepare_start.elapsed().as_secs_f64()
     );
 
     if options.experiment == "all" {
         for name in ALL_EXPERIMENTS {
-            if let Some(out) = run_experiment(name, &ctx, &data) {
+            if let Some(out) = run_timed(name, &ctx, &data) {
                 println!("{out}\n");
             }
         }
         ExitCode::SUCCESS
-    } else if let Some(out) = run_experiment(&options.experiment, &ctx, &data) {
+    } else if let Some(out) = run_timed(&options.experiment, &ctx, &data) {
         println!("{out}");
         ExitCode::SUCCESS
     } else {

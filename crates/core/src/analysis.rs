@@ -20,6 +20,66 @@ use std::collections::BTreeMap;
 /// branch address.
 pub type BranchMissMap = BTreeMap<BranchAddr, PredictionStats>;
 
+/// Per-branch prediction statistics indexed by a dense static-branch id
+/// (see `btr_trace::InternedTrace`) instead of an address-keyed map.
+///
+/// The simulation hot loop records one hit/miss per dynamic branch; with a
+/// `BranchMissMap` that is a `BTreeMap` lookup per record, with this table it
+/// is a single vector index. [`DenseMissTable::into_map`] converts to the
+/// map-keyed form once per run so every downstream analysis
+/// ([`ClassMissRates`], [`JointMissMatrix`], …) is untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMissTable {
+    stats: Vec<PredictionStats>,
+}
+
+impl DenseMissTable {
+    /// Creates a table covering `static_count` branch ids, all zeroed.
+    pub fn new(static_count: usize) -> Self {
+        DenseMissTable {
+            stats: vec![PredictionStats::new(); static_count],
+        }
+    }
+
+    /// Records one prediction result for the branch with dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the `static_count` the table was built with.
+    #[inline]
+    pub fn record(&mut self, id: u32, hit: bool) {
+        self.stats[id as usize].record(hit);
+    }
+
+    /// The per-id statistics slice.
+    pub fn stats(&self) -> &[PredictionStats] {
+        &self.stats
+    }
+
+    /// Converts to the address-keyed [`BranchMissMap`], resolving each dense
+    /// id through `addrs` (the interned id → address table).
+    ///
+    /// Ids with zero lookups are omitted, exactly as the map-building
+    /// simulation path never creates entries for branches it never counted —
+    /// so both paths produce identical maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is shorter than the table.
+    pub fn into_map(self, addrs: &[BranchAddr]) -> BranchMissMap {
+        assert!(
+            addrs.len() >= self.stats.len(),
+            "id → address table shorter than the statistics table"
+        );
+        self.stats
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| s.lookups > 0)
+            .map(|(id, s)| (addrs[id], s))
+            .collect()
+    }
+}
+
 /// Miss rates aggregated over the classes of one metric (one bar group of
 /// Figure 3 or Figure 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -341,6 +401,34 @@ mod tests {
             (0x20, 100, 50, 50), // (5, 5) hard
             (0x30, 100, 50, 97), // (5, 10) alternator
         ])
+    }
+
+    #[test]
+    fn dense_miss_table_converts_to_identical_map() {
+        let addrs = [
+            BranchAddr::new(0x30),
+            BranchAddr::new(0x10),
+            BranchAddr::new(0x20),
+        ];
+        let mut dense = DenseMissTable::new(addrs.len());
+        let mut map = BranchMissMap::new();
+        // id 1 never recorded: it must be absent from the converted map.
+        for (id, hit) in [(0u32, true), (2, false), (0, false), (2, true), (2, true)] {
+            dense.record(id, hit);
+            map.entry(addrs[id as usize]).or_default().record(hit);
+        }
+        assert_eq!(dense.stats().len(), 3);
+        assert_eq!(dense.stats()[1], PredictionStats::new());
+        let converted = dense.into_map(&addrs);
+        assert_eq!(converted, map);
+        assert!(!converted.contains_key(&BranchAddr::new(0x10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the statistics table")]
+    fn dense_miss_table_rejects_short_addr_table() {
+        let dense = DenseMissTable::new(2);
+        let _ = dense.into_map(&[BranchAddr::new(0x10)]);
     }
 
     #[test]

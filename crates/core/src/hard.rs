@@ -143,7 +143,7 @@ impl DistanceHistogram {
         let mut counts = vec![0u64; max_distance];
         let mut total = 0u64;
         let mut since_last: Option<usize> = None;
-        for record in trace.iter().filter(|r| r.kind().is_conditional()) {
+        for record in trace.conditional_records() {
             if let Some(d) = since_last.as_mut() {
                 *d += 1;
             }

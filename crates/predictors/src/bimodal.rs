@@ -40,18 +40,28 @@ impl BimodalPredictor {
         self.table.is_empty()
     }
 
+    #[inline]
     fn index(&self, addr: BranchAddr) -> u64 {
         addr.low_bits(self.table.index_bits())
     }
 }
 
 impl BranchPredictor for BimodalPredictor {
+    #[inline]
     fn predict(&self, addr: BranchAddr) -> Outcome {
         self.table.predict(self.index(addr))
     }
 
+    #[inline]
     fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
         self.table.train(self.index(addr), outcome);
+    }
+
+    #[inline]
+    fn access(&mut self, addr: BranchAddr, outcome: Outcome) -> bool {
+        // Fused: one index computation and one table-slot resolution.
+        let index = self.index(addr);
+        self.table.predict_and_train(index, outcome) == outcome
     }
 
     fn name(&self) -> String {

@@ -83,6 +83,7 @@ impl SaturatingCounter {
     }
 
     /// The direction this counter currently predicts.
+    #[inline]
     pub fn predict(&self) -> Outcome {
         Outcome::from_bool(self.value >= (1u8 << (self.bits - 1)))
     }
@@ -93,6 +94,7 @@ impl SaturatingCounter {
     }
 
     /// Updates the counter towards the observed outcome.
+    #[inline]
     pub fn train(&mut self, outcome: Outcome) {
         match outcome {
             Outcome::Taken => {

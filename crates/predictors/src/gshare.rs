@@ -43,20 +43,32 @@ impl GsharePredictor {
         GsharePredictor::new(17, history_bits)
     }
 
+    #[inline]
     fn index(&self, addr: BranchAddr) -> u64 {
         addr.low_bits(self.pht.index_bits()) ^ self.history.pattern()
     }
 }
 
 impl BranchPredictor for GsharePredictor {
+    #[inline]
     fn predict(&self, addr: BranchAddr) -> Outcome {
         self.pht.predict(self.index(addr))
     }
 
+    #[inline]
     fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
         let index = self.index(addr);
         self.pht.train(index, outcome);
         self.history.push(outcome);
+    }
+
+    #[inline]
+    fn access(&mut self, addr: BranchAddr, outcome: Outcome) -> bool {
+        // Fused: the address/history XOR index is computed once per branch.
+        let index = self.index(addr);
+        let hit = self.pht.predict_and_train(index, outcome) == outcome;
+        self.history.push(outcome);
+        hit
     }
 
     fn name(&self) -> String {

@@ -37,6 +37,7 @@ pub mod bimode;
 pub mod budget;
 pub mod confidence;
 pub mod counter;
+pub mod dispatch;
 pub mod filterpred;
 pub mod gshare;
 pub mod history;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::budget::HardwareBudget;
     pub use crate::confidence::{ConfidenceEstimator, JacobsenOneLevel, JacobsenTwoLevel};
     pub use crate::counter::SaturatingCounter;
+    pub use crate::dispatch::DispatchPredictor;
     pub use crate::filterpred::FilterPredictor;
     pub use crate::gshare::GsharePredictor;
     pub use crate::hybrid::{ClassifiedHybrid, McFarlingHybrid};

@@ -54,11 +54,13 @@ impl PatternHistoryTable {
         self.index_bits
     }
 
+    #[inline]
     fn slot(&self, index: u64) -> usize {
         (index & ((1u64 << self.index_bits) - 1)) as usize
     }
 
     /// Predicts the direction stored at `index` (masked to the table size).
+    #[inline]
     pub fn predict(&self, index: u64) -> Outcome {
         self.counters[self.slot(index)].predict()
     }
@@ -69,9 +71,23 @@ impl PatternHistoryTable {
     }
 
     /// Trains the counter at `index` towards `outcome`.
+    #[inline]
     pub fn train(&mut self, index: u64, outcome: Outcome) {
         let slot = self.slot(index);
         self.counters[slot].train(outcome);
+    }
+
+    /// Fused predict-then-train at one index: returns the pre-update
+    /// prediction and trains the counter towards `outcome`, resolving the
+    /// slot once instead of twice. This is the hot-path form the fused
+    /// [`crate::predictor::BranchPredictor::access`] overrides use.
+    #[inline]
+    pub fn predict_and_train(&mut self, index: u64, outcome: Outcome) -> Outcome {
+        let slot = self.slot(index);
+        let counter = &mut self.counters[slot];
+        let prediction = counter.predict();
+        counter.train(outcome);
+        prediction
     }
 
     /// Total storage in bits.

@@ -28,8 +28,16 @@ pub trait BranchPredictor {
     /// accounting against the paper's 32 KB limit.
     fn storage_bits(&self) -> u64;
 
-    /// Convenience: predicts, compares against `outcome`, updates, and
-    /// returns whether the prediction was correct.
+    /// Fused predict+update: predicts, compares against `outcome`, updates,
+    /// and returns whether the prediction was correct.
+    ///
+    /// This is the simulation hot path — one call per dynamic branch instead
+    /// of a `predict`/`update` virtual-call pair. The default implementation
+    /// composes the two primitives; table-based predictors override it to
+    /// resolve their index/slot once per branch. Overrides must stay
+    /// bit-identical to `predict` followed by `update` — the engine's
+    /// compatibility path asserts that in tests.
+    #[inline]
     fn access(&mut self, addr: BranchAddr, outcome: Outcome) -> bool {
         let hit = self.predict(addr) == outcome;
         self.update(addr, outcome);
@@ -53,6 +61,12 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
     fn storage_bits(&self) -> u64 {
         (**self).storage_bits()
     }
+
+    fn access(&mut self, addr: BranchAddr, outcome: Outcome) -> bool {
+        // Delegate so a boxed predictor keeps its fused override instead of
+        // falling back to the two-virtual-call default.
+        (**self).access(addr, outcome)
+    }
 }
 
 /// Running hit/miss statistics for a predictor under simulation.
@@ -71,6 +85,7 @@ impl PredictionStats {
     }
 
     /// Records one prediction result.
+    #[inline]
     pub fn record(&mut self, hit: bool) {
         self.lookups += 1;
         if hit {

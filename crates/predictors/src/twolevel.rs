@@ -222,6 +222,7 @@ impl TwoLevelPredictor {
         &self.config
     }
 
+    #[inline]
     fn history_pattern(&self, addr: BranchAddr) -> u64 {
         if self.config.history_bits == 0 {
             return 0;
@@ -232,6 +233,7 @@ impl TwoLevelPredictor {
         }
     }
 
+    #[inline]
     fn pht_index(&self, addr: BranchAddr) -> u64 {
         let k = self.config.history_bits;
         let addr_bits = self.config.pht_index_bits - k;
@@ -241,10 +243,12 @@ impl TwoLevelPredictor {
 }
 
 impl BranchPredictor for TwoLevelPredictor {
+    #[inline]
     fn predict(&self, addr: BranchAddr) -> Outcome {
         self.pht.predict(self.pht_index(addr))
     }
 
+    #[inline]
     fn update(&mut self, addr: BranchAddr, outcome: Outcome) {
         let index = self.pht_index(addr);
         self.pht.train(index, outcome);
@@ -254,6 +258,26 @@ impl BranchPredictor for TwoLevelPredictor {
                 None => self.global_history.push(outcome),
             }
         }
+    }
+
+    #[inline]
+    fn access(&mut self, addr: BranchAddr, outcome: Outcome) -> bool {
+        // Fused predict+update: the history-table entry and the PHT slot are
+        // each resolved once per dynamic branch instead of twice. The PHT
+        // index is formed from the pre-push history pattern, exactly as the
+        // split predict/update pair does.
+        let k = self.config.history_bits;
+        let history = if k == 0 {
+            0
+        } else {
+            match &mut self.bht {
+                Some(bht) => bht.pattern_and_push(addr, outcome),
+                None => self.global_history.pattern_and_push(outcome),
+            }
+        };
+        let addr_bits = self.config.pht_index_bits - k;
+        let index = (history << addr_bits) | addr.low_bits(addr_bits);
+        self.pht.predict_and_train(index, outcome) == outcome
     }
 
     fn name(&self) -> String {

@@ -2,6 +2,7 @@
 
 use btr_core::class::BinningScheme;
 use btr_predictors::bimodal::BimodalPredictor;
+use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::gshare::GsharePredictor;
 use btr_predictors::predictor::BranchPredictor;
 use btr_predictors::staticp::StaticPredictor;
@@ -84,6 +85,22 @@ impl PredictorKind {
             PredictorKind::Bimodal { index_bits } => Box::new(BimodalPredictor::new(index_bits)),
             PredictorKind::StaticTaken => Box::new(StaticPredictor::always_taken()),
             PredictorKind::StaticNotTaken => Box::new(StaticPredictor::always_not_taken()),
+        }
+    }
+
+    /// Builds the predictor as a [`DispatchPredictor`], the enum-dispatched
+    /// form [`crate::engine::SimEngine::run_dispatch`] monomorphizes over.
+    /// Every kind this enum can describe maps to a dispatch family, so the
+    /// fast path covers the whole configuration space; `build` remains for
+    /// predictors constructed outside it.
+    pub fn build_dispatch(self) -> DispatchPredictor {
+        match self {
+            PredictorKind::PAsPaper { history } => TwoLevelPredictor::pas_paper(history).into(),
+            PredictorKind::GAsPaper { history } => TwoLevelPredictor::gas_paper(history).into(),
+            PredictorKind::Gshare { history } => GsharePredictor::paper_sized(history).into(),
+            PredictorKind::Bimodal { index_bits } => BimodalPredictor::new(index_bits).into(),
+            PredictorKind::StaticTaken => StaticPredictor::always_taken().into(),
+            PredictorKind::StaticNotTaken => StaticPredictor::always_not_taken().into(),
         }
     }
 

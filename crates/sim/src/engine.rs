@@ -1,8 +1,25 @@
 //! The trace → predictor simulation engine.
+//!
+//! Two execution paths cover the same protocol:
+//!
+//! * [`SimEngine::run`] — the compatibility path: a `dyn BranchPredictor`
+//!   driven with predict-then-update calls, per-branch statistics in an
+//!   address-keyed `BTreeMap`. Works with any predictor, including hybrids
+//!   and wrappers built outside this crate.
+//! * [`SimEngine::run_interned`] / [`SimEngine::run_dispatch`] — the hot
+//!   path: a monomorphized loop over an [`InternedTrace`]'s contiguous
+//!   conditional records, the fused [`BranchPredictor::access`] call, and
+//!   per-branch statistics in a dense id-indexed vector. `run_dispatch`
+//!   matches a [`DispatchPredictor`] once per run so each family gets its
+//!   own fully inlined loop.
+//!
+//! Both paths are bit-identical by construction, and the test suite asserts
+//! it for every predictor family.
 
-use btr_core::analysis::BranchMissMap;
+use btr_core::analysis::{BranchMissMap, DenseMissTable};
+use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
-use btr_trace::Trace;
+use btr_trace::{InternedTrace, Trace};
 use serde::{Deserialize, Serialize};
 
 /// The result of running one predictor over one trace.
@@ -56,10 +73,15 @@ impl SimEngine {
     }
 
     /// Runs the predictor over every conditional branch of the trace.
+    ///
+    /// This is the compatibility path: virtual predict/update calls and an
+    /// address-keyed map per record. Prefer [`SimEngine::run_interned`] (or
+    /// [`SimEngine::run_dispatch`]) for sweeps — it is several times faster
+    /// and produces bit-identical results.
     pub fn run(&self, trace: &Trace, predictor: &mut dyn BranchPredictor) -> RunResult {
         let mut result = RunResult::default();
         let mut seen = 0u64;
-        for record in trace.iter().filter(|r| r.kind().is_conditional()) {
+        for record in trace.conditional_records() {
             let hit = predictor.predict(record.addr()) == record.outcome();
             predictor.update(record.addr(), record.outcome());
             seen += 1;
@@ -74,6 +96,57 @@ impl SimEngine {
                 .record(hit);
         }
         result
+    }
+
+    /// Runs a concrete (monomorphized) predictor over an interned trace.
+    ///
+    /// Per dynamic branch this costs one fused [`BranchPredictor::access`]
+    /// call — inlinable, since `P` is concrete at each instantiation — and
+    /// one dense vector index, instead of two virtual calls and a
+    /// `BTreeMap` traversal. The dense statistics convert to the map-keyed
+    /// [`RunResult`] once at the end, so results are bit-identical to
+    /// [`SimEngine::run`].
+    pub fn run_interned<P: BranchPredictor>(
+        &self,
+        trace: &InternedTrace,
+        predictor: &mut P,
+    ) -> RunResult {
+        let mut dense = DenseMissTable::new(trace.static_count());
+        let records = trace.records();
+        let warmup = (self.warmup.min(records.len() as u64)) as usize;
+        for record in &records[..warmup] {
+            predictor.access(record.addr(), record.outcome());
+        }
+        for record in &records[warmup..] {
+            let hit = predictor.access(record.addr(), record.outcome());
+            dense.record(record.id(), hit);
+        }
+        // Every post-warmup record lands in the dense table, so the overall
+        // statistics are its column sums — no per-record aggregate needed.
+        let mut overall = PredictionStats::new();
+        for stats in dense.stats() {
+            overall.merge(stats);
+        }
+        RunResult {
+            overall,
+            per_branch: dense.into_map(trace.addrs()),
+        }
+    }
+
+    /// Runs a [`DispatchPredictor`] over an interned trace, selecting the
+    /// concrete predictor family **once per run** so the record loop is fully
+    /// monomorphized and inlined per family.
+    pub fn run_dispatch(
+        &self,
+        trace: &InternedTrace,
+        predictor: &mut DispatchPredictor,
+    ) -> RunResult {
+        match predictor {
+            DispatchPredictor::TwoLevel(p) => self.run_interned(trace, p),
+            DispatchPredictor::Gshare(p) => self.run_interned(trace, p),
+            DispatchPredictor::Bimodal(p) => self.run_interned(trace, p),
+            DispatchPredictor::Static(p) => self.run_interned(trace, p),
+        }
     }
 }
 
@@ -150,13 +223,73 @@ mod tests {
         assert_eq!(a.per_branch.len(), 2);
     }
 
+    /// A trace mixing biased, alternating and pseudo-random branches over
+    /// many addresses, exercising BHT/PHT aliasing on every path.
+    fn mixed_trace(n: u32) -> Trace {
+        let mut b = TraceBuilder::new("mixed");
+        let mut state = 0x0123_4567_89ab_cdefu64;
+        for i in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = BranchAddr::new(0x40_0000 + ((state >> 45) & 0xff) * 4);
+            let taken = match i % 3 {
+                0 => i % 2 == 0,
+                1 => true,
+                _ => (state >> 33) & 1 == 1,
+            };
+            b.push(BranchRecord::conditional(addr, Outcome::from_bool(taken)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn interned_and_dispatch_paths_match_dyn_path_bit_for_bit() {
+        let trace = mixed_trace(5000);
+        let interned = trace.intern();
+        let engine = SimEngine::new();
+        for kind in [
+            PredictorKind::PAsPaper { history: 8 },
+            PredictorKind::PAsPaper { history: 0 },
+            PredictorKind::GAsPaper { history: 12 },
+            PredictorKind::Gshare { history: 10 },
+            PredictorKind::Bimodal { index_bits: 12 },
+            PredictorKind::StaticTaken,
+            PredictorKind::StaticNotTaken,
+        ] {
+            let via_dyn = engine.run(&trace, &mut *kind.build());
+            let via_dispatch = engine.run_dispatch(&interned, &mut kind.build_dispatch());
+            assert_eq!(via_dyn, via_dispatch, "{} diverged", kind.label());
+            // And the generic path with a concrete predictor agrees too.
+            if let PredictorKind::GAsPaper { history } = kind {
+                let mut concrete = btr_predictors::twolevel::TwoLevelPredictor::gas_paper(history);
+                assert_eq!(via_dyn, engine.run_interned(&interned, &mut concrete));
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_is_identical_across_paths() {
+        let trace = mixed_trace(2000);
+        let interned = trace.intern();
+        for warmup in [0, 1, 500, 1999, 2000, 5000] {
+            let engine = SimEngine::new().with_warmup(warmup);
+            let kind = PredictorKind::PAsPaper { history: 4 };
+            let via_dyn = engine.run(&trace, &mut *kind.build());
+            let via_fast = engine.run_dispatch(&interned, &mut kind.build_dispatch());
+            assert_eq!(via_dyn, via_fast, "warmup {warmup} diverged");
+        }
+    }
+
     #[test]
     fn empty_trace_produces_empty_result() {
         let trace = TraceBuilder::new("empty").build();
-        let result =
-            SimEngine::new().run(&trace, &mut *PredictorKind::GAsPaper { history: 4 }.build());
+        let kind = PredictorKind::GAsPaper { history: 4 };
+        let result = SimEngine::new().run(&trace, &mut *kind.build());
         assert_eq!(result.overall.lookups, 0);
         assert_eq!(result.miss_rate(), None);
         assert!(result.per_branch.is_empty());
+        let fast = SimEngine::new().run_dispatch(&trace.intern(), &mut kind.build_dispatch());
+        assert_eq!(result, fast);
     }
 }

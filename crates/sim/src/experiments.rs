@@ -87,15 +87,17 @@ impl ExperimentContext {
     }
 
     /// Generates traces and runs both sweeps, producing the shared data every
-    /// experiment consumes.
+    /// experiment consumes. Traces are interned once and shared by the PAs
+    /// and GAs sweeps, which run on the work-stealing grid.
     pub fn prepare(&self) -> SuiteData {
         let runner = SuiteRunner::new(self.suite)
             .with_benchmarks(self.benchmarks.clone())
             .with_threads(self.threads);
         let traces = runner.generate_traces();
         let profile = SuiteRunner::merged_profile(&traces);
-        let pas = runner.run_sweep(&traces, PredictorFamily::PAs, &self.histories);
-        let gas = runner.run_sweep(&traces, PredictorFamily::GAs, &self.histories);
+        let interned = runner.intern_traces(&traces);
+        let pas = runner.run_sweep_interned(&interned, PredictorFamily::PAs, &self.histories);
+        let gas = runner.run_sweep_interned(&interned, PredictorFamily::GAs, &self.histories);
         SuiteData {
             traces,
             profile,
@@ -494,7 +496,7 @@ pub fn ablation_confidence(
         // Re-run the trace record by record so each estimator sees the same
         // correctness stream the predictor produces.
         let _ = &engine;
-        for record in trace.iter().filter(|r| r.kind().is_conditional()) {
+        for record in trace.conditional_records() {
             let correct = predictor.predict(record.addr()) == record.outcome();
             predictor.update(record.addr(), record.outcome());
             stats[0]

@@ -5,11 +5,13 @@
 //!
 //! * [`config`] — predictor configurations the harness knows how to build.
 //! * [`engine`] — runs a trace through a predictor, collecting overall and
-//!   per-branch hit/miss statistics.
+//!   per-branch hit/miss statistics. Offers a `dyn` compatibility path and a
+//!   devirtualized, dense-indexed hot path over interned traces
+//!   ([`engine::SimEngine::run_dispatch`]).
 //! * [`sweep`] — history-length sweeps (0–16) for PAs and GAs, producing the
 //!   class × history matrices of the paper's figures.
-//! * [`runner`] — multi-threaded execution of sweeps across the benchmark
-//!   suite.
+//! * [`runner`] — parallel execution of sweeps across the benchmark suite as
+//!   a (benchmark × history) grid on a vendored work-stealing pool.
 //! * [`experiments`] — one function per paper table/figure, returning both
 //!   structured data and a printable rendering.
 //!

@@ -1,15 +1,23 @@
 //! Multi-threaded execution of the full benchmark suite.
+//!
+//! Earlier revisions parallelised with `std::thread::scope` plus a
+//! mutex-guarded shared work index, and split sweeps by history length only —
+//! so a sweep over fewer history lengths than cores left threads idle. The
+//! runner now flattens every sweep into a (benchmark × history) grid of
+//! tasks executed on a vendored work-stealing pool ([`stealpool`]), with
+//! per-task partial results merged deterministically by task index; a single
+//! large sweep saturates all cores even when `histories.len() < threads`.
 
 use crate::config::PredictorFamily;
 use crate::engine::{RunResult, SimEngine};
 use crate::sweep::SweepResult;
 use btr_core::profile::ProgramProfile;
-use btr_trace::Trace;
+use btr_trace::{InternedTrace, Trace};
 use btr_workloads::spec::{Benchmark, SuiteConfig};
-use parking_lot::Mutex;
+use stealpool::WorkStealingPool;
 
 /// Generates the synthetic suite and runs predictor sweeps over it, spreading
-/// work across threads.
+/// work across a work-stealing thread pool.
 #[derive(Debug, Clone)]
 pub struct SuiteRunner {
     config: SuiteConfig,
@@ -59,31 +67,22 @@ impl SuiteRunner {
         &self.benchmarks
     }
 
-    /// Generates every benchmark trace, in parallel.
+    fn pool(&self) -> WorkStealingPool {
+        WorkStealingPool::new(self.threads)
+    }
+
+    /// Generates every benchmark trace, in parallel, in benchmark order.
     pub fn generate_traces(&self) -> Vec<Trace> {
-        let results: Mutex<Vec<(usize, Trace)>> =
-            Mutex::new(Vec::with_capacity(self.benchmarks.len()));
-        let next: Mutex<usize> = Mutex::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(self.benchmarks.len().max(1)) {
-                scope.spawn(|| loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        *guard += 1;
-                        idx
-                    };
-                    if idx >= self.benchmarks.len() {
-                        break;
-                    }
-                    let trace = self.benchmarks[idx].generate(&self.config);
-                    results.lock().push((idx, trace));
-                });
-            }
-        });
-        let mut collected = results.into_inner();
-        collected.sort_by_key(|(idx, _)| *idx);
-        collected.into_iter().map(|(_, t)| t).collect()
+        self.pool().run(self.benchmarks.clone(), |_, bench| {
+            bench.generate(&self.config)
+        })
+    }
+
+    /// Interns every trace (dense static-branch ids) in parallel, preserving
+    /// order. Interning once per sweep amortises the pass across all
+    /// (family × history) simulations of the sweep.
+    pub fn intern_traces(&self, traces: &[Trace]) -> Vec<InternedTrace> {
+        self.pool().run(traces.iter().collect(), |_, t| t.intern())
     }
 
     /// Builds the merged suite profile from generated traces.
@@ -96,12 +95,35 @@ impl SuiteRunner {
     }
 
     /// Sweeps one predictor family over the given history lengths for all
-    /// traces, distributing history lengths across threads. Every benchmark
-    /// uses a fresh predictor instance per history length, exactly as the
-    /// sequential [`crate::sweep::HistorySweep`] does.
+    /// traces. Every benchmark uses a fresh predictor instance per history
+    /// length, exactly as the sequential [`crate::sweep::HistorySweep`] does.
+    ///
+    /// Interns the traces first; prefer [`SuiteRunner::run_sweep_interned`]
+    /// when running several sweeps over the same traces.
     pub fn run_sweep(
         &self,
         traces: &[Trace],
+        family: PredictorFamily,
+        histories: &[u32],
+    ) -> SweepResult {
+        self.run_sweep_interned(&self.intern_traces(traces), family, histories)
+    }
+
+    /// Sweeps one predictor family over already-interned traces.
+    ///
+    /// The sweep is flattened into one task per (benchmark, history) grid
+    /// cell; tasks run on the work-stealing pool through the monomorphized
+    /// engine path, and the per-benchmark partial results of each history
+    /// length are merged in benchmark-index order, so the outcome is
+    /// bit-identical to the sequential sweep no matter how tasks were
+    /// scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `histories` is empty.
+    pub fn run_sweep_interned(
+        &self,
+        traces: &[InternedTrace],
         family: PredictorFamily,
         histories: &[u32],
     ) -> SweepResult {
@@ -109,32 +131,27 @@ impl SuiteRunner {
             !histories.is_empty(),
             "at least one history length is required"
         );
-        let parts: Mutex<Vec<(u32, RunResult)>> = Mutex::new(Vec::with_capacity(histories.len()));
-        let next: Mutex<usize> = Mutex::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(histories.len()) {
-                scope.spawn(|| loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        *guard += 1;
-                        idx
-                    };
-                    if idx >= histories.len() {
-                        break;
-                    }
-                    let history = histories[idx];
-                    let engine = SimEngine::new();
-                    let mut merged = RunResult::default();
-                    for trace in traces {
-                        let mut predictor = family.paper_predictor(history);
-                        merged.merge(&engine.run(trace, &mut predictor));
-                    }
-                    parts.lock().push((history, merged));
-                });
-            }
+        let engine = SimEngine::new();
+        let grid: Vec<(usize, u32)> = histories
+            .iter()
+            .flat_map(|&history| (0..traces.len()).map(move |bench| (bench, history)))
+            .collect();
+        let partials: Vec<RunResult> = self.pool().run(grid, |_, (bench, history)| {
+            let mut predictor = family.paper_predictor(history);
+            engine.run_interned(&traces[bench], &mut predictor)
         });
-        SweepResult::from_parts(family, parts.into_inner())
+        let parts = histories
+            .iter()
+            .enumerate()
+            .map(|(h_idx, &history)| {
+                let mut merged = RunResult::default();
+                for partial in &partials[h_idx * traces.len()..(h_idx + 1) * traces.len()] {
+                    merged.merge(partial);
+                }
+                (history, merged)
+            })
+            .collect();
+        SweepResult::from_parts(family, parts)
     }
 }
 
@@ -183,6 +200,18 @@ mod tests {
     }
 
     #[test]
+    fn interning_preserves_trace_order() {
+        let runner = tiny_runner();
+        let traces = runner.generate_traces();
+        let interned = runner.intern_traces(&traces);
+        assert_eq!(interned.len(), traces.len());
+        for (t, i) in traces.iter().zip(&interned) {
+            assert_eq!(i.len() as u64, t.conditional_count());
+            assert_eq!(i.static_count(), t.static_conditional_count());
+        }
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential_sweep() {
         let runner = tiny_runner();
         let traces = runner.generate_traces();
@@ -190,13 +219,10 @@ mod tests {
         let histories = vec![0, 2, 4];
         let parallel = runner.run_sweep(&traces, PredictorFamily::PAs, &histories);
         let sequential = HistorySweep::new(PredictorFamily::PAs, histories.clone()).run(&refs);
-        for &h in &histories {
-            assert_eq!(
-                parallel.overall_miss_rate(h),
-                sequential.overall_miss_rate(h),
-                "history {h} diverged between parallel and sequential sweeps"
-            );
-        }
+        assert_eq!(
+            parallel, sequential,
+            "grid sweep must be bit-identical to the sequential sweep"
+        );
     }
 
     #[test]
@@ -213,5 +239,12 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = tiny_runner().with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one history")]
+    fn empty_histories_rejected() {
+        let runner = tiny_runner();
+        let _ = runner.run_sweep(&[], PredictorFamily::PAs, &[]);
     }
 }

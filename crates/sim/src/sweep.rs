@@ -24,8 +24,8 @@ pub struct SweepResult {
 
 impl SweepResult {
     /// Assembles a sweep result from per-history run results (used by the
-    /// parallel suite runner, which executes history lengths on separate
-    /// threads).
+    /// parallel suite runner, which executes the (benchmark × history) grid
+    /// on a work-stealing pool and merges partial results per history).
     pub fn from_parts(family: PredictorFamily, mut parts: Vec<(u32, RunResult)>) -> Self {
         parts.sort_by_key(|(h, _)| *h);
         let runs = parts

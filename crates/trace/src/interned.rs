@@ -1,0 +1,218 @@
+//! Dense branch-address interning for the simulation hot path.
+//!
+//! A [`crate::Trace`] keys everything by 64-bit [`BranchAddr`]; per-branch
+//! bookkeeping during simulation therefore needs an associative lookup
+//! (historically a `BTreeMap`) on *every* dynamic branch. Paper-scale sweeps
+//! run 10⁸+ dynamic branches × 17 history lengths × 2 families, so that
+//! lookup dominates the whole experiment.
+//!
+//! [`InternedTrace`] removes it: one pass over the trace assigns every static
+//! conditional branch a dense `u32` id (in first-appearance order) and lays
+//! the conditional records out as a contiguous slice carrying the id inline.
+//! Per-branch statistics then live in a plain `Vec` indexed directly by id,
+//! and the id → address table converts back to the map-keyed form once per
+//! run instead of once per record.
+
+use crate::record::{BranchAddr, BranchRecord, Outcome};
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// One conditional branch execution with its address interned to a dense id.
+///
+/// The address is kept inline so predictors can index their tables without a
+/// side lookup; the id is what per-branch statistics vectors index by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InternedRecord {
+    addr: BranchAddr,
+    id: u32,
+    taken: bool,
+}
+
+impl InternedRecord {
+    /// The static branch address.
+    #[inline]
+    pub fn addr(&self) -> BranchAddr {
+        self.addr
+    }
+
+    /// The dense static-branch id (`0 ..` [`InternedTrace::static_count`]).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The resolved direction.
+    #[inline]
+    pub fn outcome(&self) -> Outcome {
+        Outcome::from_bool(self.taken)
+    }
+}
+
+/// The conditional-branch stream of a [`Trace`] with addresses interned to
+/// dense `u32` ids.
+///
+/// Ids are assigned in first-appearance order, so interning is deterministic
+/// for a given record sequence; [`InternedTrace::addrs`] maps each id back to
+/// its address.
+///
+/// ```
+/// use btr_trace::{BranchAddr, BranchRecord, Outcome, TraceBuilder};
+/// let mut b = TraceBuilder::new("t");
+/// b.push(BranchRecord::conditional(BranchAddr::new(0x40), Outcome::Taken));
+/// b.push(BranchRecord::conditional(BranchAddr::new(0x80), Outcome::NotTaken));
+/// b.push(BranchRecord::conditional(BranchAddr::new(0x40), Outcome::NotTaken));
+/// let interned = b.build().intern();
+/// assert_eq!(interned.static_count(), 2);
+/// assert_eq!(interned.records()[2].id(), 0); // 0x40 was seen first
+/// assert_eq!(interned.addr_of(1), BranchAddr::new(0x80));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedTrace {
+    addrs: Vec<BranchAddr>,
+    records: Vec<InternedRecord>,
+}
+
+impl InternedTrace {
+    /// Interns the conditional records of a trace (see [`Trace::intern`]).
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_conditional_records(trace.conditional_records())
+    }
+
+    /// Interns a slice of records, all of which must be conditional.
+    pub(crate) fn from_conditional_records(records: &[BranchRecord]) -> Self {
+        let mut ids: HashMap<u64, u32> = HashMap::new();
+        let mut addrs = Vec::new();
+        let interned = records
+            .iter()
+            .map(|r| {
+                debug_assert!(r.kind().is_conditional());
+                let addr = r.addr();
+                let id = *ids.entry(addr.raw()).or_insert_with(|| {
+                    let id = u32::try_from(addrs.len())
+                        .expect("more than u32::MAX static branches in one trace");
+                    addrs.push(addr);
+                    id
+                });
+                InternedRecord {
+                    addr,
+                    id,
+                    taken: r.outcome().is_taken(),
+                }
+            })
+            .collect();
+        InternedTrace {
+            addrs,
+            records: interned,
+        }
+    }
+
+    /// The number of distinct static conditional branches.
+    pub fn static_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The number of dynamic conditional records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no conditional records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The interned records as a contiguous slice, in original trace order.
+    #[inline]
+    pub fn records(&self) -> &[InternedRecord] {
+        &self.records
+    }
+
+    /// The id → address table, in id (first-appearance) order.
+    pub fn addrs(&self) -> &[BranchAddr] {
+        &self.addrs
+    }
+
+    /// The address a dense id stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn addr_of(&self, id: u32) -> BranchAddr {
+        self.addrs[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+    use crate::trace::TraceBuilder;
+
+    fn rec(addr: u64, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(BranchAddr::new(addr), Outcome::from_bool(taken))
+    }
+
+    #[test]
+    fn ids_follow_first_appearance_order() {
+        let mut b = TraceBuilder::new("t");
+        b.push(rec(0x30, true));
+        b.push(rec(0x10, false));
+        b.push(rec(0x30, false));
+        b.push(rec(0x20, true));
+        let interned = b.build().intern();
+        assert_eq!(interned.static_count(), 3);
+        assert_eq!(
+            interned.addrs(),
+            &[
+                BranchAddr::new(0x30),
+                BranchAddr::new(0x10),
+                BranchAddr::new(0x20)
+            ]
+        );
+        let ids: Vec<u32> = interned.records().iter().map(|r| r.id()).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn records_preserve_order_addresses_and_outcomes() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..100u64 {
+            b.push(rec(0x1000 + (i % 7) * 4, i % 3 == 0));
+        }
+        let trace = b.build();
+        let interned = trace.intern();
+        assert_eq!(interned.len(), 100);
+        assert!(!interned.is_empty());
+        for (original, interned_record) in
+            trace.conditional_records().iter().zip(interned.records())
+        {
+            assert_eq!(interned_record.addr(), original.addr());
+            assert_eq!(interned_record.outcome(), original.outcome());
+            assert_eq!(interned.addr_of(interned_record.id()), original.addr());
+        }
+    }
+
+    #[test]
+    fn non_conditional_records_are_excluded() {
+        let mut b = TraceBuilder::new("t");
+        b.push(rec(0x10, true));
+        b.push(BranchRecord::new(
+            BranchAddr::new(0x14),
+            BranchKind::Call,
+            Outcome::Taken,
+        ));
+        b.push(rec(0x18, false));
+        let interned = b.build().intern();
+        assert_eq!(interned.len(), 2);
+        assert_eq!(interned.static_count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_interns_to_empty() {
+        let interned = TraceBuilder::new("empty").build().intern();
+        assert!(interned.is_empty());
+        assert_eq!(interned.len(), 0);
+        assert_eq!(interned.static_count(), 0);
+        assert!(interned.addrs().is_empty());
+    }
+}

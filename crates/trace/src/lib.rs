@@ -34,6 +34,7 @@
 
 pub mod error;
 pub mod filter;
+pub mod interned;
 pub mod io;
 pub mod record;
 pub mod stats;
@@ -41,6 +42,7 @@ pub mod trace;
 
 pub use error::TraceError;
 pub use filter::{ConditionalOnly, Sampled, Windowed};
+pub use interned::{InternedRecord, InternedTrace};
 pub use record::{BranchAddr, BranchKind, BranchRecord, Outcome};
 pub use stats::{AddrStats, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceMetadata};

@@ -38,6 +38,7 @@ impl BranchAddr {
     /// # Panics
     ///
     /// Panics if `n > 64`.
+    #[inline]
     pub fn low_bits(self, n: u32) -> u64 {
         assert!(n <= 64, "cannot take more than 64 low bits");
         let word = self.0 >> 2;
@@ -74,6 +75,7 @@ pub enum Outcome {
 
 impl Outcome {
     /// Converts a boolean (`true` = taken) into an outcome.
+    #[inline]
     pub fn from_bool(taken: bool) -> Self {
         if taken {
             Outcome::Taken
@@ -83,6 +85,7 @@ impl Outcome {
     }
 
     /// Returns `true` if the branch was taken.
+    #[inline]
     pub fn is_taken(self) -> bool {
         matches!(self, Outcome::Taken)
     }
@@ -97,6 +100,7 @@ impl Outcome {
     }
 
     /// Returns 1 for taken and 0 for not taken, convenient for history shifts.
+    #[inline]
     pub fn as_bit(self) -> u64 {
         match self {
             Outcome::Taken => 1,
@@ -232,16 +236,19 @@ impl BranchRecord {
     }
 
     /// The static branch address.
+    #[inline]
     pub fn addr(&self) -> BranchAddr {
         self.addr
     }
 
     /// The control-transfer kind.
+    #[inline]
     pub fn kind(&self) -> BranchKind {
         self.kind
     }
 
     /// The resolved direction.
+    #[inline]
     pub fn outcome(&self) -> Outcome {
         self.outcome
     }

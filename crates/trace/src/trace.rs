@@ -59,12 +59,60 @@ impl TraceMetadata {
 ///
 /// A `Trace` owns its records and caches the raw per-address statistics
 /// computed while it was built, so repeated analyses do not re-scan the
-/// record vector.
+/// record vector. The conditional-record subset — the stream every predictor
+/// simulation consumes — is available as a contiguous slice
+/// ([`Trace::conditional_records`]), so a 17-point history sweep filters the
+/// record kinds once instead of once per sweep point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     metadata: TraceMetadata,
     records: Vec<BranchRecord>,
+    /// Cached conditional subset, only materialized for traces that contain
+    /// non-conditional records; all-conditional traces (every synthetic
+    /// workload) borrow `records` directly so memory never doubles at
+    /// paper scale. Invariant: empty iff `stats.total_other() == 0`.
+    ///
+    /// Derived data, excluded from serialization: when the vendored serde is
+    /// swapped for the real crate, deserialization must recompute this via
+    /// [`conditional_subset`] (e.g. route `Deserialize` through
+    /// [`Trace::from_records`]) rather than trust wire data.
+    #[serde(skip)]
+    conditional: Vec<BranchRecord>,
     stats: TraceStats,
+}
+
+/// Builds the materialized conditional subset for a mixed record vector, or
+/// an empty vector when every record is conditional (the borrow-`records`
+/// fast path).
+fn conditional_subset(records: &[BranchRecord], stats: &TraceStats) -> Vec<BranchRecord> {
+    if stats.total_other() == 0 {
+        Vec::new()
+    } else {
+        records
+            .iter()
+            .copied()
+            .filter(|r| r.kind().is_conditional())
+            .collect()
+    }
+}
+
+/// Incremental-append step for the lazy conditional cache. Must run after
+/// `stats.observe(record)` and before `records.push(record)`: the first
+/// non-conditional record materializes the cache from the (all-conditional)
+/// records so far; afterwards every conditional record is appended.
+fn push_to_conditional_cache(
+    conditional: &mut Vec<BranchRecord>,
+    records: &[BranchRecord],
+    stats: &TraceStats,
+    record: &BranchRecord,
+) {
+    if record.kind().is_conditional() {
+        if stats.total_other() > 0 {
+            conditional.push(*record);
+        }
+    } else if stats.total_other() == 1 {
+        *conditional = records.to_vec();
+    }
 }
 
 impl Trace {
@@ -74,9 +122,11 @@ impl Trace {
         for r in &records {
             stats.observe(r);
         }
+        let conditional = conditional_subset(&records, &stats);
         Trace {
             metadata,
             records,
+            conditional,
             stats,
         }
     }
@@ -99,6 +149,24 @@ impl Trace {
     /// The records as a slice.
     pub fn records(&self) -> &[BranchRecord] {
         &self.records
+    }
+
+    /// The conditional records as a precomputed contiguous slice, in trace
+    /// order — the stream predictor simulations iterate. For all-conditional
+    /// traces this is the record vector itself (no copy is held).
+    pub fn conditional_records(&self) -> &[BranchRecord] {
+        if self.stats.total_other() == 0 {
+            &self.records
+        } else {
+            &self.conditional
+        }
+    }
+
+    /// Interns the conditional-branch stream: every static branch gets a
+    /// dense `u32` id so per-branch simulation state can live in flat vectors
+    /// instead of address-keyed maps (see [`crate::interned::InternedTrace`]).
+    pub fn intern(&self) -> crate::interned::InternedTrace {
+        crate::interned::InternedTrace::from_conditional_records(self.conditional_records())
     }
 
     /// Iterates over the records.
@@ -136,6 +204,7 @@ impl Trace {
     pub fn extend_from(&mut self, other: &Trace) {
         for r in other.records() {
             self.stats.observe(r);
+            push_to_conditional_cache(&mut self.conditional, &self.records, &self.stats, r);
             self.records.push(*r);
         }
     }
@@ -187,17 +256,14 @@ impl IntoIterator for Trace {
 pub struct TraceBuilder {
     metadata: TraceMetadata,
     records: Vec<BranchRecord>,
+    conditional: Vec<BranchRecord>,
     stats: TraceStats,
 }
 
 impl TraceBuilder {
     /// Creates a builder with the given benchmark name.
     pub fn new(benchmark: impl Into<String>) -> Self {
-        TraceBuilder {
-            metadata: TraceMetadata::named(benchmark),
-            records: Vec::new(),
-            stats: TraceStats::new(),
-        }
+        TraceBuilder::with_metadata(TraceMetadata::named(benchmark))
     }
 
     /// Creates a builder with full metadata.
@@ -205,6 +271,7 @@ impl TraceBuilder {
         TraceBuilder {
             metadata,
             records: Vec::new(),
+            conditional: Vec::new(),
             stats: TraceStats::new(),
         }
     }
@@ -231,6 +298,7 @@ impl TraceBuilder {
     /// Appends a record.
     pub fn push(&mut self, record: BranchRecord) -> &mut Self {
         self.stats.observe(&record);
+        push_to_conditional_cache(&mut self.conditional, &self.records, &self.stats, &record);
         self.records.push(record);
         self
     }
@@ -258,6 +326,7 @@ impl TraceBuilder {
         Trace {
             metadata: self.metadata,
             records: self.records,
+            conditional: self.conditional,
             stats: self.stats,
         }
     }
@@ -355,6 +424,52 @@ mod tests {
         assert!(s.contains("2 records"));
         let owned: Vec<_> = t.into_iter().collect();
         assert_eq!(owned.len(), 2);
+    }
+
+    #[test]
+    fn conditional_cache_is_lazy_for_all_conditional_traces() {
+        // All-conditional: the subset is the record vector itself, no copy.
+        let t: Trace = vec![rec(0x10, true), rec(0x20, false)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.conditional_records().as_ptr(), t.records().as_ptr());
+        assert_eq!(t.conditional_records().len(), 2);
+
+        // First non-conditional record materializes the subset (builder path).
+        let mut b = TraceBuilder::new("mixed");
+        b.push(rec(0x10, true));
+        b.push(BranchRecord::new(
+            BranchAddr::new(0x14),
+            BranchKind::Call,
+            Outcome::Taken,
+        ));
+        b.push(rec(0x18, false));
+        let mixed = b.build();
+        assert_ne!(
+            mixed.conditional_records().as_ptr(),
+            mixed.records().as_ptr()
+        );
+        assert_eq!(
+            mixed.conditional_records(),
+            &[rec(0x10, true), rec(0x18, false)]
+        );
+
+        // extend_from: appending a mixed trace onto an all-conditional one
+        // materializes mid-stream and keeps the subset consistent.
+        let mut grown: Trace = vec![rec(0x30, true)].into_iter().collect();
+        grown.extend_from(&mixed);
+        assert_eq!(
+            grown.conditional_records(),
+            &[rec(0x30, true), rec(0x10, true), rec(0x18, false)]
+        );
+        // And all-conditional extension keeps the zero-copy representation.
+        let mut still_pure: Trace = vec![rec(0x40, true)].into_iter().collect();
+        let more: Trace = vec![rec(0x50, false)].into_iter().collect();
+        still_pure.extend_from(&more);
+        assert_eq!(
+            still_pure.conditional_records().as_ptr(),
+            still_pure.records().as_ptr()
+        );
     }
 
     #[test]

@@ -8,12 +8,20 @@
 //!
 //! There is no statistical analysis: each benchmark closure is timed for
 //! `sample_size` iterations after one warm-up iteration and the mean
-//! wall-clock time is printed. That keeps `cargo bench` meaningful for
-//! relative comparisons while staying dependency-free.
+//! wall-clock time is printed, together with the per-second work rate when
+//! the benchmark declared a [`Throughput`]. That keeps `cargo bench`
+//! meaningful for relative comparisons while staying dependency-free.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON line to it —
+//! `{"id": …, "mean_ns": …, "per_sec": …}` — so CI can collect per-figure
+//! timings as an artifact and diff them across commits.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -175,16 +183,54 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut bencher);
     let iters = bencher.iterations.max(1);
     let mean = bencher.elapsed.as_secs_f64() / iters as f64;
-    let rate = match throughput {
-        Some(Throughput::Elements(n)) if mean > 0.0 => {
-            format!("  ({:.3e} elem/s)", n as f64 / mean)
-        }
-        Some(Throughput::Bytes(n)) if mean > 0.0 => {
-            format!("  ({:.3e} B/s)", n as f64 / mean)
-        }
-        _ => String::new(),
+    let per_sec = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => Some((n as f64 / mean, "elements")),
+        Some(Throughput::Bytes(n)) if mean > 0.0 => Some((n as f64 / mean, "bytes")),
+        _ => None,
+    };
+    let rate = match per_sec {
+        Some((r, "elements")) => format!("  ({r:.3e} elem/s)"),
+        Some((r, _)) => format!("  ({r:.3e} B/s)"),
+        None => String::new(),
     };
     println!("bench {id:<50} {:>12.3} µs/iter{rate}", mean * 1e6);
+    emit_json_line(id, mean, per_sec);
+}
+
+/// Appends one machine-readable result line to the `CRITERION_JSON` file, if
+/// that environment variable is set. `per_sec` carries its unit so artifact
+/// consumers can tell records/sec from bytes/sec. Failures to write are
+/// reported on stderr but never fail the benchmark run.
+fn emit_json_line(id: &str, mean_secs: f64, per_sec: Option<(f64, &str)>) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let per_sec_field = match per_sec {
+        Some((r, unit)) => format!(", \"per_sec\": {r:.1}, \"unit\": \"{unit}/s\""),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.1}{per_sec_field}}}\n",
+        mean_secs * 1e9
+    );
+    let written = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("criterion stand-in: cannot append to {path}: {err}");
+    }
 }
 
 /// Declares a function that runs the listed benchmark targets.
@@ -235,5 +281,47 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter("gcc").to_string(), "gcc");
+    }
+
+    #[test]
+    fn json_lines_are_valid_and_appended() {
+        let path = std::env::temp_dir().join(format!("criterion_json_test_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().unwrap().to_string();
+        emit_json_line_to(
+            &path_str,
+            "group/\"quoted\"",
+            1.5e-3,
+            Some((2.0e6, "elements")),
+        );
+        emit_json_line_to(&path_str, "plain", 2.0e-6, None);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Other tests in this process may run benchmarks concurrently, so
+        // select our lines by id instead of asserting on the whole file.
+        let quoted = contents
+            .lines()
+            .find(|l| l.contains("\\\"quoted\\\""))
+            .expect("escaped id line present");
+        assert!(quoted.contains("\"mean_ns\": 1500000.0"));
+        assert!(quoted.contains("\"per_sec\": 2000000.0"));
+        assert!(quoted.contains("\"unit\": \"elements/s\""));
+        let plain = contents
+            .lines()
+            .find(|l| l.contains("\"id\": \"plain\""))
+            .expect("plain id line present");
+        assert!(!plain.contains("per_sec"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Test shim: routes `emit_json_line` at a scratch file via the
+    /// environment variable, restoring the variable afterwards.
+    fn emit_json_line_to(path: &str, id: &str, mean_secs: f64, per_sec: Option<(f64, &str)>) {
+        let previous = std::env::var("CRITERION_JSON").ok();
+        std::env::set_var("CRITERION_JSON", path);
+        emit_json_line(id, mean_secs, per_sec);
+        match previous {
+            Some(value) => std::env::set_var("CRITERION_JSON", value),
+            None => std::env::remove_var("CRITERION_JSON"),
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! Work-stealing batch executor (rayon/crossbeam-deque style), std only.
+//!
+//! The workspace has no crates.io access, so this vendors the minimal slice
+//! of the rayon design the simulation runner needs: a fixed set of worker
+//! threads, one double-ended work queue per worker, owners popping newest
+//! tasks from the back (LIFO, cache-warm), thieves stealing oldest tasks from
+//! the front (FIFO, coarse-grained). Unlike the real Chase-Lev deque this one
+//! guards each queue with its own `Mutex` — the tasks this pool runs are
+//! whole-trace simulations taking milliseconds to seconds, so a lock per
+//! push/pop is noise while keeping the crate `forbid(unsafe_code)`.
+//!
+//! The pool executes *batches*: every task is known up front, tasks never
+//! spawn subtasks, and results are returned in task-index order regardless of
+//! which worker ran what — so callers get deterministic, merge-by-index
+//! output for free.
+//!
+//! ```
+//! use stealpool::WorkStealingPool;
+//!
+//! let pool = WorkStealingPool::new(4);
+//! let squares = pool.run((0u64..100).collect(), |idx, n| {
+//!     assert_eq!(idx as u64, n);
+//!     n * n
+//! });
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One worker's double-ended task queue plus the shared stealing view of it.
+///
+/// The owner treats the back as a stack (`pop` takes the most recently pushed
+/// task); thieves take from the front, so a steal grabs the task the owner
+/// would reach last. Indexed tasks are distributed round-robin before the
+/// workers start, so the front of each deque holds the globally "oldest"
+/// tasks — the same large-granularity steals rayon's FIFO stealers make.
+#[derive(Debug)]
+pub struct TaskDeque<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> TaskDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        TaskDeque {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the owner end (the back).
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pops from the owner end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals from the thief end (FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("deque poisoned").len()
+    }
+
+    /// Whether the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for TaskDeque<T> {
+    fn default() -> Self {
+        TaskDeque::new()
+    }
+}
+
+/// A fixed-width work-stealing pool executing one batch of indexed tasks at a
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkStealingPool {
+    threads: usize,
+}
+
+impl WorkStealingPool {
+    /// Creates a pool that runs batches on up to `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        WorkStealingPool { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every task, returning results in task-index order.
+    ///
+    /// Tasks are dealt round-robin across per-worker deques; an idle worker
+    /// first drains its own deque from the back, then steals from its peers'
+    /// fronts. Because the batch is fixed (no task spawns another), a worker
+    /// that finds every deque empty is done. With a single worker — or a
+    /// single task — the batch runs inline on the calling thread, so
+    /// `threads = 1` is exactly sequential execution.
+    pub fn run<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            return tasks
+                .into_iter()
+                .enumerate()
+                .map(|(idx, task)| f(idx, task))
+                .collect();
+        }
+
+        let deques: Vec<TaskDeque<(usize, T)>> = (0..workers).map(|_| TaskDeque::new()).collect();
+        let total = tasks.len();
+        for (idx, task) in tasks.into_iter().enumerate() {
+            deques[idx % workers].push((idx, task));
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // Own work first (newest-first keeps the last-dealt, most
+                    // cache-relevant task local) …
+                    let next = deques[me].pop().or_else(|| {
+                        // … then sweep the peers once, oldest-first.
+                        (1..workers).find_map(|off| deques[(me + off) % workers].steal())
+                    });
+                    match next {
+                        Some((idx, task)) => {
+                            *slots[idx].lock().expect("result slot poisoned") = Some(f(idx, task));
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task index must produce a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn deque_is_lifo_for_owner_and_fifo_for_thief() {
+        let d = TaskDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(1)); // thief takes the oldest
+        assert_eq!(d.pop(), Some(3)); // owner takes the newest
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.is_empty());
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(TaskDeque::<u8>::default().is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkStealingPool::new(8);
+        let out = pool.run((0..1000u64).collect(), |idx, n| {
+            assert_eq!(idx as u64, n);
+            n * 2
+        });
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, v)| *v == i as u64 * 2));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = WorkStealingPool::new(4);
+        let out = pool.run(vec![(); 257], |idx, ()| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            idx
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let pool = WorkStealingPool::new(16);
+        assert_eq!(pool.threads(), 16);
+        assert_eq!(pool.run(vec![5, 6], |_, n| n + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn single_thread_and_empty_batches_run_inline() {
+        let pool = WorkStealingPool::new(1);
+        assert_eq!(pool.run(vec![1, 2, 3], |_, n| n * n), vec![1, 4, 9]);
+        let empty: Vec<u32> = pool.run(Vec::<u32>::new(), |_, n| n);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn uneven_task_costs_still_complete() {
+        let pool = WorkStealingPool::new(3);
+        let out = pool.run((0..64u64).collect(), |_, n| {
+            // Make early (front-of-deque, steal-prone) tasks the slow ones.
+            let spins = if n < 8 { 20_000 } else { 10 };
+            (0..spins).fold(n, |acc, _| std::hint::black_box(acc.wrapping_mul(31)))
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = WorkStealingPool::new(0);
+    }
+}
