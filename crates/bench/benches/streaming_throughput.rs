@@ -1,0 +1,110 @@
+//! Streamed vs eager trace simulation: throughput and peak-allocation cost
+//! of the chunked I/O path (PR 3) against the eager read-then-dispatch path,
+//! plus the windowed-parallel path for one huge trace.
+//!
+//! All variants decode the *same* in-memory `BTRT` byte stream, so the
+//! comparison covers the full pipeline each path really executes: decode (+
+//! intern) + simulate. The acceptance bar is streamed throughput within 20%
+//! of eager.
+
+use btr_sim::config::{PredictorKind, WarmupWindow, WindowConfig};
+use btr_sim::engine::SimEngine;
+use btr_sim::runner::SuiteRunner;
+use btr_trace::io::binary;
+use btr_trace::{
+    BranchAddr, BranchRecord, ChunkedTraceReader, Outcome, Trace, TraceBuilder,
+    DEFAULT_CHUNK_RECORDS,
+};
+use btr_workloads::spec::SuiteConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// A trace shaped like the generated suite: a few thousand static branches
+/// with mixed behaviours (same generator as `predictor_throughput`).
+fn synthetic_trace(n: usize) -> Trace {
+    let mut b = TraceBuilder::new("streaming");
+    b.reserve(n);
+    let mut state = 0x0f0f_1234_cafe_f00du64;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let addr = BranchAddr::new(0x40_0000 + ((state >> 21) & 0xfff) * 4);
+        let taken = match (state >> 18) & 3 {
+            0 => i % 2 == 0,
+            1 => true,
+            _ => (state >> 41) & 1 == 1,
+        };
+        b.push(BranchRecord::conditional(addr, Outcome::from_bool(taken)));
+    }
+    b.build()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let n = 2_000_000usize;
+    let trace = synthetic_trace(n);
+    let mut encoded = Vec::new();
+    binary::write_trace(&mut encoded, &trace).unwrap();
+    let kind = PredictorKind::PAsPaper { history: 8 };
+    let engine = SimEngine::new();
+
+    // Full pipeline from bytes: decode (+ intern) + simulate.
+    let mut group = c.benchmark_group("streaming_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(format!("eager/{}", kind.label()), |b| {
+        b.iter(|| {
+            let trace = binary::read_trace(&mut encoded.as_slice()).unwrap();
+            let interned = trace.intern();
+            engine.run_dispatch(&interned, &mut kind.build_dispatch())
+        })
+    });
+    for chunk_records in [1 << 12, DEFAULT_CHUNK_RECORDS, 1 << 20] {
+        group.bench_function(
+            format!("streamed/chunk{}k/{}", chunk_records >> 10, kind.label()),
+            |b| {
+                b.iter(|| {
+                    let chunks =
+                        ChunkedTraceReader::btrt(encoded.as_slice(), chunk_records).unwrap();
+                    engine
+                        .run_streamed_dispatch(chunks, &mut kind.build_dispatch())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    // Decode-only: the I/O layer's own overhead, without simulation.
+    group.bench_function("decode_only/eager", |b| {
+        b.iter(|| binary::read_trace(&mut encoded.as_slice()).unwrap().len())
+    });
+    group.bench_function("decode_only/chunked64k", |b| {
+        b.iter(|| {
+            ChunkedTraceReader::btrt(encoded.as_slice(), DEFAULT_CHUNK_RECORDS)
+                .unwrap()
+                .map(|c| c.unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    // One huge trace split across workers: sequential dispatch vs windowed
+    // warmup replay on the steal pool.
+    let interned = trace.intern();
+    let runner = SuiteRunner::new(SuiteConfig::default());
+    let mut group = c.benchmark_group("windowed_single_trace");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(interned.len() as u64));
+    group.bench_function(format!("sequential/{}", kind.label()), |b| {
+        b.iter(|| engine.run_dispatch(&interned, &mut kind.build_dispatch()))
+    });
+    for warm in [4096usize, 65_536] {
+        let cfg = WindowConfig::new(1 << 18).with_warmup_window(WarmupWindow::Records(warm));
+        group.bench_function(
+            format!("windowed/warm{}k/{}", warm >> 10, kind.label()),
+            |b| b.iter(|| runner.run_trace_windowed(&interned, kind, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -56,6 +56,42 @@ impl DenseMissTable {
         &self.stats
     }
 
+    /// Grows the table with zeroed entries so ids `0 .. static_count` are
+    /// valid. Never shrinks. Streaming consumers discover static branches
+    /// incrementally, so their tables grow as new ids first appear instead of
+    /// being sized up front.
+    pub fn grow_to(&mut self, static_count: usize) {
+        if static_count > self.stats.len() {
+            self.stats.resize(static_count, PredictionStats::new());
+        }
+    }
+
+    /// Records one prediction result, growing the table first if `id` is
+    /// beyond the current size (the streaming counterpart of
+    /// [`DenseMissTable::record`]).
+    #[inline]
+    pub fn record_growing(&mut self, id: u32, hit: bool) {
+        if id as usize >= self.stats.len() {
+            self.grow_to(id as usize + 1);
+        }
+        self.stats[id as usize].record(hit);
+    }
+
+    /// Adds another table's per-id counts into this one, index-wise, growing
+    /// this table if the other is larger.
+    ///
+    /// Prediction statistics are plain hit/lookup counters, so merging window
+    /// or chunk partials this way is exact: the merged table is bit-identical
+    /// to one accumulated sequentially, whatever the partition. This is what
+    /// the windowed-parallel simulation path merges its per-window partials
+    /// with.
+    pub fn merge(&mut self, other: &DenseMissTable) {
+        self.grow_to(other.stats.len());
+        for (mine, theirs) in self.stats.iter_mut().zip(&other.stats) {
+            mine.merge(theirs);
+        }
+    }
+
     /// Converts to the address-keyed [`BranchMissMap`], resolving each dense
     /// id through `addrs` (the interned id → address table).
     ///
@@ -422,6 +458,45 @@ mod tests {
         let converted = dense.into_map(&addrs);
         assert_eq!(converted, map);
         assert!(!converted.contains_key(&BranchAddr::new(0x10)));
+    }
+
+    #[test]
+    fn dense_miss_table_merge_matches_sequential_accumulation() {
+        // Partition one hit/miss stream into two windows; merging the window
+        // partials must equal the sequentially accumulated table.
+        let events: Vec<(u32, bool)> = (0..50u32).map(|i| (i % 5, i % 3 == 0)).collect();
+        let mut sequential = DenseMissTable::new(5);
+        for &(id, hit) in &events {
+            sequential.record(id, hit);
+        }
+        let (first, second) = events.split_at(23);
+        let mut a = DenseMissTable::new(5);
+        let mut b = DenseMissTable::new(0);
+        for &(id, hit) in first {
+            a.record(id, hit);
+        }
+        for &(id, hit) in second {
+            b.record_growing(id, hit);
+        }
+        a.merge(&b);
+        assert_eq!(a, sequential);
+        // Merging an empty partial is a no-op.
+        a.merge(&DenseMissTable::new(0));
+        assert_eq!(a, sequential);
+        // Merging into the smaller side grows it first.
+        let mut c = DenseMissTable::new(0);
+        c.merge(&sequential);
+        assert_eq!(c, sequential);
+    }
+
+    #[test]
+    fn dense_miss_table_grows_on_demand() {
+        let mut t = DenseMissTable::new(1);
+        t.record_growing(4, true);
+        assert_eq!(t.stats().len(), 5);
+        assert_eq!(t.stats()[4].lookups, 1);
+        t.grow_to(3); // never shrinks
+        assert_eq!(t.stats().len(), 5);
     }
 
     #[test]

@@ -117,6 +117,83 @@ impl PredictorKind {
     }
 }
 
+/// How much predictor state a parallel window re-warms before its scored
+/// region (see [`crate::engine::SimEngine::run_window`]).
+///
+/// A window simulated in isolation starts from a cold predictor, so its first
+/// predictions would diverge from a sequential run. Replaying a warmup region
+/// immediately before the window re-trains the predictor first:
+///
+/// * [`WarmupWindow::FullPrefix`] replays *everything* before the window. The
+///   predictor state entering the scored region is then exactly the
+///   sequential state, so windowed results are **bit-identical** to
+///   [`crate::engine::SimEngine::run_dispatch`] — at the cost of O(n²/window)
+///   total replay work.
+/// * [`WarmupWindow::Records(k)`] replays only the `k` records before the
+///   window: O(n·k/window) extra work, results **approximate** — branch
+///   history registers and counters re-converge within tens of records, so
+///   divergence is confined to long-range aliasing effects and shrinks as `k`
+///   grows (pinned by `tests/streamed_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarmupWindow {
+    /// Replay the entire prefix: exact, bit-identical results.
+    FullPrefix,
+    /// Replay only this many records before the window: approximate results,
+    /// bounded replay cost.
+    Records(usize),
+}
+
+impl WarmupWindow {
+    /// The first record index to replay for a window starting at `start`.
+    pub fn warm_start(self, start: usize) -> usize {
+        match self {
+            WarmupWindow::FullPrefix => 0,
+            WarmupWindow::Records(k) => start.saturating_sub(k),
+        }
+    }
+}
+
+/// Configuration for splitting one trace into windows simulated in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Conditional records scored per window (the last window may be
+    /// shorter).
+    pub window_records: usize,
+    /// Warmup replayed before each window's scored region.
+    pub warmup_window: WarmupWindow,
+}
+
+impl WindowConfig {
+    /// A window configuration with exact (full-prefix) warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_records` is zero.
+    pub fn new(window_records: usize) -> Self {
+        assert!(window_records > 0, "windows must cover at least one record");
+        WindowConfig {
+            window_records,
+            warmup_window: WarmupWindow::FullPrefix,
+        }
+    }
+
+    /// Sets the warmup window, builder style.
+    #[must_use]
+    pub fn with_warmup_window(mut self, warmup_window: WarmupWindow) -> Self {
+        self.warmup_window = warmup_window;
+        self
+    }
+
+    /// The `[start, end)` scored ranges covering a trace of `len` conditional
+    /// records, in order.
+    pub fn windows(&self, len: usize) -> Vec<(usize, usize)> {
+        (0..len)
+            .step_by(self.window_records)
+            .map(|start| (start, (start + self.window_records).min(len)))
+            .collect()
+    }
+}
+
 /// Top-level simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -170,6 +247,23 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn window_config_partitions_exactly() {
+        let cfg = WindowConfig::new(100).with_warmup_window(WarmupWindow::Records(32));
+        assert_eq!(cfg.windows(250), vec![(0, 100), (100, 200), (200, 250)]);
+        assert_eq!(cfg.windows(100), vec![(0, 100)]);
+        assert_eq!(cfg.windows(0), Vec::<(usize, usize)>::new());
+        assert_eq!(cfg.warmup_window.warm_start(150), 118);
+        assert_eq!(WarmupWindow::Records(500).warm_start(150), 0);
+        assert_eq!(WarmupWindow::FullPrefix.warm_start(150), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_window_size_rejected() {
+        let _ = WindowConfig::new(0);
     }
 
     #[test]

@@ -15,12 +15,42 @@
 //!
 //! Both paths are bit-identical by construction, and the test suite asserts
 //! it for every predictor family.
+//!
+//! Two more paths cover paper-scale traces that cannot (or should not) be
+//! materialised:
+//!
+//! * [`SimEngine::run_streamed`] consumes bounded [`TraceChunk`]s from a
+//!   [`btr_trace::ChunkedTraceReader`], so peak memory is one chunk plus the
+//!   per-static-branch tables — independent of trace length — while staying
+//!   bit-identical to the eager hot path.
+//! * [`SimEngine::run_window`] simulates one window of a trace on a fresh
+//!   predictor after replaying a configurable warmup region
+//!   ([`WarmupWindow`]), producing a mergeable [`DenseMissTable`] partial;
+//!   the suite runner schedules windows of one huge trace across the
+//!   work-stealing pool this way.
 
+use crate::config::WarmupWindow;
 use btr_core::analysis::{BranchMissMap, DenseMissTable};
 use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
-use btr_trace::{InternedTrace, Trace};
+use btr_trace::{BranchAddr, InternedTrace, Trace, TraceChunk};
 use serde::{Deserialize, Serialize};
+
+/// Folds a dense per-id statistics table into a [`RunResult`], computing the
+/// overall statistics as the table's column sums (exact, since every scored
+/// record lands in the table) and resolving ids through `addrs`. Shared by
+/// every dense-table path (interned, streamed, windowed-merge) so they cannot
+/// drift apart.
+pub(crate) fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> RunResult {
+    let mut overall = PredictionStats::new();
+    for stats in dense.stats() {
+        overall.merge(stats);
+    }
+    RunResult {
+        overall,
+        per_branch: dense.into_map(addrs),
+    }
+}
 
 /// The result of running one predictor over one trace.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -123,13 +153,124 @@ impl SimEngine {
         }
         // Every post-warmup record lands in the dense table, so the overall
         // statistics are its column sums — no per-record aggregate needed.
-        let mut overall = PredictionStats::new();
-        for stats in dense.stats() {
-            overall.merge(stats);
+        result_from_dense(dense, trace.addrs())
+    }
+
+    /// Runs a concrete predictor over a stream of [`TraceChunk`]s without
+    /// ever materialising the whole trace: peak memory is one chunk plus the
+    /// per-static-branch tables, independent of trace length.
+    ///
+    /// The chunks must arrive in stream order with ids assigned by one
+    /// persistent interner (what [`btr_trace::ChunkedTraceReader`] produces);
+    /// the id → address table is rebuilt incrementally from the records
+    /// themselves, since a dense id first appears on its defining record.
+    /// Results are bit-identical to [`SimEngine::run_dispatch`] over the
+    /// eagerly-read trace — pinned by `tests/streamed_equivalence.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode error the chunk stream yields.
+    pub fn run_streamed<P, I>(&self, chunks: I, predictor: &mut P) -> btr_trace::Result<RunResult>
+    where
+        P: BranchPredictor,
+        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+    {
+        let mut dense = DenseMissTable::new(0);
+        let mut addrs: Vec<BranchAddr> = Vec::new();
+        let mut seen = 0u64;
+        for chunk in chunks {
+            let chunk = chunk?;
+            for record in chunk.conditional() {
+                if record.id() as usize == addrs.len() {
+                    addrs.push(record.addr());
+                }
+                let hit = predictor.access(record.addr(), record.outcome());
+                seen += 1;
+                if seen <= self.warmup {
+                    continue;
+                }
+                dense.record_growing(record.id(), hit);
+            }
         }
-        RunResult {
-            overall,
-            per_branch: dense.into_map(trace.addrs()),
+        Ok(result_from_dense(dense, &addrs))
+    }
+
+    /// [`SimEngine::run_streamed`] for a [`DispatchPredictor`], selecting the
+    /// concrete family once per run so the chunk loop is monomorphized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode error the chunk stream yields.
+    pub fn run_streamed_dispatch<I>(
+        &self,
+        chunks: I,
+        predictor: &mut DispatchPredictor,
+    ) -> btr_trace::Result<RunResult>
+    where
+        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+    {
+        match predictor {
+            DispatchPredictor::TwoLevel(p) => self.run_streamed(chunks, p),
+            DispatchPredictor::Gshare(p) => self.run_streamed(chunks, p),
+            DispatchPredictor::Bimodal(p) => self.run_streamed(chunks, p),
+            DispatchPredictor::Static(p) => self.run_streamed(chunks, p),
+        }
+    }
+
+    /// Simulates one window `[start, end)` of an interned trace on a fresh
+    /// predictor, replaying a warmup region first, and returns the window's
+    /// per-id statistics partial (merge partials with
+    /// [`DenseMissTable::merge`]).
+    ///
+    /// The predictor is trained on `[warmup_window.warm_start(start), start)`
+    /// without recording statistics, then scored on `[start, end)`. With
+    /// [`WarmupWindow::FullPrefix`] the predictor enters the scored region in
+    /// exactly the sequential state, so merging all window partials is
+    /// bit-identical to one sequential run. The engine's own
+    /// [`SimEngine::warmup`] exclusion applies to *absolute* record indices,
+    /// so it composes with windowing exactly as in the sequential paths.
+    ///
+    /// Out-of-range bounds are clamped to the trace length.
+    pub fn run_window<P: BranchPredictor>(
+        &self,
+        trace: &InternedTrace,
+        predictor: &mut P,
+        start: usize,
+        end: usize,
+        warmup_window: WarmupWindow,
+    ) -> DenseMissTable {
+        let records = trace.records();
+        let end = end.min(records.len());
+        let start = start.min(end);
+        for record in &records[warmup_window.warm_start(start)..start] {
+            predictor.access(record.addr(), record.outcome());
+        }
+        let mut dense = DenseMissTable::new(trace.static_count());
+        for (offset, record) in records[start..end].iter().enumerate() {
+            let hit = predictor.access(record.addr(), record.outcome());
+            if ((start + offset) as u64) < self.warmup {
+                continue;
+            }
+            dense.record(record.id(), hit);
+        }
+        dense
+    }
+
+    /// [`SimEngine::run_window`] for a [`DispatchPredictor`], selecting the
+    /// concrete family once per window.
+    pub fn run_window_dispatch(
+        &self,
+        trace: &InternedTrace,
+        predictor: &mut DispatchPredictor,
+        start: usize,
+        end: usize,
+        warmup_window: WarmupWindow,
+    ) -> DenseMissTable {
+        match predictor {
+            DispatchPredictor::TwoLevel(p) => self.run_window(trace, p, start, end, warmup_window),
+            DispatchPredictor::Gshare(p) => self.run_window(trace, p, start, end, warmup_window),
+            DispatchPredictor::Bimodal(p) => self.run_window(trace, p, start, end, warmup_window),
+            DispatchPredictor::Static(p) => self.run_window(trace, p, start, end, warmup_window),
         }
     }
 

@@ -11,7 +11,9 @@
 //! * [`sweep`] — history-length sweeps (0–16) for PAs and GAs, producing the
 //!   class × history matrices of the paper's figures.
 //! * [`runner`] — parallel execution of sweeps across the benchmark suite as
-//!   a (benchmark × history) grid on a vendored work-stealing pool.
+//!   a (benchmark × history) grid on a vendored work-stealing pool, plus
+//!   per-trace windowed parallelism for single huge traces
+//!   ([`runner::SuiteRunner::run_trace_windowed`]).
 //! * [`experiments`] — one function per paper table/figure, returning both
 //!   structured data and a printable rendering.
 //!
@@ -35,7 +37,9 @@ pub mod sweep;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::config::{PredictorFamily, PredictorKind, SimConfig};
+    pub use crate::config::{
+        PredictorFamily, PredictorKind, SimConfig, WarmupWindow, WindowConfig,
+    };
     pub use crate::engine::{RunResult, SimEngine};
     pub use crate::experiments::ExperimentContext;
     pub use crate::runner::SuiteRunner;

@@ -23,6 +23,22 @@ pub enum TraceError {
         /// Human-readable description of what was being decoded.
         context: &'static str,
     },
+    /// The stream ended in the middle of a record body: the header promised
+    /// more records than the bytes that follow can supply.
+    ///
+    /// Unlike [`TraceError::UnexpectedEof`] (which covers header-level
+    /// truncation, where no record boundary exists yet) this variant pins the
+    /// failure to a record index and the byte offset the decoder had reached,
+    /// so a corrupted multi-gigabyte capture can be diagnosed — and re-fetched
+    /// from that offset — without replaying the whole stream.
+    TruncatedRecord {
+        /// Zero-based index of the record being decoded when bytes ran out.
+        record: u64,
+        /// Byte offset from the start of the stream reached by the decoder.
+        offset: u64,
+        /// Which field of the record was being decoded.
+        context: &'static str,
+    },
     /// A text-format line could not be parsed.
     MalformedLine {
         /// 1-based line number.
@@ -57,6 +73,15 @@ impl fmt::Display for TraceError {
             TraceError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of trace stream while reading {context}")
             }
+            TraceError::TruncatedRecord {
+                record,
+                offset,
+                context,
+            } => write!(
+                f,
+                "trace truncated at byte offset {offset}: record {record} cut mid-stream \
+                 while reading {context}"
+            ),
             TraceError::MalformedLine { line, reason } => {
                 write!(f, "malformed trace text at line {line}: {reason}")
             }
@@ -97,6 +122,14 @@ mod tests {
             (TraceError::BadMagic { found: *b"XXXX" }, "bad trace magic"),
             (TraceError::UnsupportedVersion { found: 99 }, "version 99"),
             (TraceError::UnexpectedEof { context: "header" }, "header"),
+            (
+                TraceError::TruncatedRecord {
+                    record: 3,
+                    offset: 41,
+                    context: "address delta",
+                },
+                "byte offset 41",
+            ),
             (
                 TraceError::MalformedLine {
                     line: 7,

@@ -29,6 +29,13 @@ pub struct InternedRecord {
 }
 
 impl InternedRecord {
+    /// Builds an interned record. Crate-internal: ids are only meaningful
+    /// relative to the interner that assigned them, so public construction
+    /// goes through [`InternedTrace`] or the chunked reader.
+    pub(crate) fn new(addr: BranchAddr, id: u32, taken: bool) -> Self {
+        InternedRecord { addr, id, taken }
+    }
+
     /// The static branch address.
     #[inline]
     pub fn addr(&self) -> BranchAddr {
@@ -45,6 +52,67 @@ impl InternedRecord {
     #[inline]
     pub fn outcome(&self) -> Outcome {
         Outcome::from_bool(self.taken)
+    }
+}
+
+/// Assigns dense `u32` ids to branch addresses in first-appearance order,
+/// incrementally — the id table can keep growing across batches of records.
+///
+/// This is the policy behind [`InternedTrace`] (which interns a whole trace
+/// in one pass) factored out so streaming consumers — the chunked trace
+/// reader interning records chunk by chunk — assign *identical* ids to the
+/// same record sequence no matter how it is split. Determinism here is what
+/// lets a streamed simulation merge per-id statistics bit-identically with an
+/// eager one.
+///
+/// ```
+/// use btr_trace::{BranchAddr, IncrementalInterner};
+/// let mut interner = IncrementalInterner::new();
+/// assert_eq!(interner.intern(BranchAddr::new(0x40)), 0);
+/// assert_eq!(interner.intern(BranchAddr::new(0x80)), 1);
+/// assert_eq!(interner.intern(BranchAddr::new(0x40)), 0); // stable across calls
+/// assert_eq!(interner.static_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalInterner {
+    ids: HashMap<u64, u32>,
+    addrs: Vec<BranchAddr>,
+}
+
+impl IncrementalInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        IncrementalInterner::default()
+    }
+
+    /// Returns the dense id of `addr`, assigning the next free id on first
+    /// appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct addresses are interned.
+    pub fn intern(&mut self, addr: BranchAddr) -> u32 {
+        *self.ids.entry(addr.raw()).or_insert_with(|| {
+            let id = u32::try_from(self.addrs.len())
+                .expect("more than u32::MAX static branches in one trace");
+            self.addrs.push(addr);
+            id
+        })
+    }
+
+    /// The number of distinct addresses interned so far.
+    pub fn static_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The id → address table, in id (first-appearance) order.
+    pub fn addrs(&self) -> &[BranchAddr] {
+        &self.addrs
+    }
+
+    /// Consumes the interner, returning the id → address table.
+    pub fn into_addrs(self) -> Vec<BranchAddr> {
+        self.addrs
     }
 }
 
@@ -80,28 +148,17 @@ impl InternedTrace {
 
     /// Interns a slice of records, all of which must be conditional.
     pub(crate) fn from_conditional_records(records: &[BranchRecord]) -> Self {
-        let mut ids: HashMap<u64, u32> = HashMap::new();
-        let mut addrs = Vec::new();
+        let mut interner = IncrementalInterner::new();
         let interned = records
             .iter()
             .map(|r| {
                 debug_assert!(r.kind().is_conditional());
                 let addr = r.addr();
-                let id = *ids.entry(addr.raw()).or_insert_with(|| {
-                    let id = u32::try_from(addrs.len())
-                        .expect("more than u32::MAX static branches in one trace");
-                    addrs.push(addr);
-                    id
-                });
-                InternedRecord {
-                    addr,
-                    id,
-                    taken: r.outcome().is_taken(),
-                }
+                InternedRecord::new(addr, interner.intern(addr), r.outcome().is_taken())
             })
             .collect();
         InternedTrace {
-            addrs,
+            addrs: interner.into_addrs(),
             records: interned,
         }
     }

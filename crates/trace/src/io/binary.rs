@@ -171,11 +171,27 @@ fn write_record<W: Write>(w: &mut W, record: &BranchRecord, prev_addr: &mut u64)
     Ok(())
 }
 
+/// A [`Read`] adapter counting the bytes consumed so far, so decode errors
+/// can report the exact stream offset they occurred at.
+#[derive(Debug)]
+struct CountingReader<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
 /// Streaming reader yielding one [`BranchRecord`] at a time from a `BTRT`
 /// stream, so very large traces do not have to be materialised.
 #[derive(Debug)]
 pub struct BinaryRecordReader<R> {
-    reader: R,
+    reader: CountingReader<R>,
     metadata: TraceMetadata,
     declared: u64,
     produced: u64,
@@ -188,7 +204,11 @@ impl<R: Read> BinaryRecordReader<R> {
     /// # Errors
     ///
     /// Fails on bad magic bytes, unsupported versions, or truncated headers.
-    pub fn new(mut reader: R) -> Result<Self> {
+    pub fn new(reader: R) -> Result<Self> {
+        let mut reader = CountingReader {
+            inner: reader,
+            bytes: 0,
+        };
         let magic: [u8; 4] = read_exact(&mut reader, "magic")?;
         if magic != MAGIC {
             return Err(TraceError::BadMagic { found: magic });
@@ -235,20 +255,43 @@ impl<R: Read> BinaryRecordReader<R> {
         self.declared
     }
 
+    /// The number of bytes consumed from the underlying stream so far
+    /// (header included).
+    pub fn byte_offset(&self) -> u64 {
+        self.reader.bytes
+    }
+
+    /// Promotes a record-level end-of-stream into the typed truncation error,
+    /// pinning the record index and byte offset; other errors pass through.
+    fn truncation(&self, e: TraceError) -> TraceError {
+        match e {
+            TraceError::UnexpectedEof { context } => TraceError::TruncatedRecord {
+                record: self.produced,
+                offset: self.reader.bytes,
+                context,
+            },
+            other => other,
+        }
+    }
+
     fn read_record(&mut self) -> Result<BranchRecord> {
-        let flags: [u8; 1] = read_exact(&mut self.reader, "record flags")?;
+        let flags: [u8; 1] =
+            read_exact(&mut self.reader, "record flags").map_err(|e| self.truncation(e))?;
         let flags = flags[0];
         let kind = kind_from_code(flags & 0x07).ok_or(TraceError::UnknownKind {
             code: char::from(b'0' + (flags & 0x07)),
         })?;
         let outcome = Outcome::from_bool(flags & (1 << 3) != 0);
         let has_target = flags & (1 << 4) != 0;
-        let delta = zigzag_decode(read_varint(&mut self.reader, "address delta")?);
+        let delta = read_varint(&mut self.reader, "address delta")
+            .map_err(|e| self.truncation(e))
+            .map(zigzag_decode)?;
         let addr = (self.prev_addr as i64 + delta) as u64;
         self.prev_addr = addr;
         let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
         if has_target {
-            let target = read_varint(&mut self.reader, "target address")?;
+            let target =
+                read_varint(&mut self.reader, "target address").map_err(|e| self.truncation(e))?;
             record = record.with_target(BranchAddr::new(target));
         }
         Ok(record)
@@ -262,8 +305,18 @@ impl<R: Read> Iterator for BinaryRecordReader<R> {
         if self.produced >= self.declared {
             return None;
         }
-        self.produced += 1;
-        Some(self.read_record())
+        match self.read_record() {
+            Ok(record) => {
+                self.produced += 1;
+                Some(Ok(record))
+            }
+            Err(e) => {
+                // Fuse the iterator: a decode error is not recoverable
+                // mid-stream, since record boundaries are lost.
+                self.produced = self.declared;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -356,14 +409,64 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_reports_eof() {
+    fn truncation_inside_a_record_body_is_typed_with_offset() {
         let trace = sample_trace();
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
+        let full_len = buf.len() as u64;
         buf.truncate(buf.len() - 2);
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        match err {
+            TraceError::TruncatedRecord { record, offset, .. } => {
+                // The cut lands inside the third record (index 2), after the
+                // decoder consumed every remaining byte.
+                assert_eq!(record, 2);
+                assert_eq!(offset, full_len - 2);
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_between_flag_and_delta_is_typed() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        // Keep the header plus the first record's flag byte only: the delta
+        // varint of record 0 is missing.
+        let reader = BinaryRecordReader::new(buf.as_slice()).unwrap();
+        let header_len = reader.byte_offset() as usize;
+        buf.truncate(header_len + 1);
+        let mut stream = BinaryRecordReader::new(buf.as_slice()).unwrap();
+        let err = stream.next().unwrap().unwrap_err();
+        match err {
+            TraceError::TruncatedRecord {
+                record,
+                offset,
+                context,
+            } => {
+                assert_eq!(record, 0);
+                assert_eq!(offset, header_len as u64 + 1);
+                assert_eq!(context, "address delta");
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
+        }
+        // The iterator is fused after the error.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn truncation_inside_the_header_stays_an_eof_error() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        // Cut inside the record-count field: no record boundary exists yet,
+        // so the error stays at header level.
+        buf.truncate(10);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
         assert!(
-            matches!(err, TraceError::UnexpectedEof { .. }) || matches!(err, TraceError::Io(_))
+            matches!(err, TraceError::UnexpectedEof { context } if context == "record count"),
+            "got {err:?}"
         );
     }
 

@@ -1,0 +1,541 @@
+//! Chunked, bounded-memory trace decoding.
+//!
+//! [`crate::io::binary::read_trace`] materialises every record before the
+//! simulator sees the first one, so memory grows linearly with trace length —
+//! untenable for the paper-scale captures (10⁸+ records) the classification
+//! analysis is meant to run over. [`ChunkedTraceReader`] decodes the same
+//! `BTRT` (or text) stream into bounded, fixed-size [`TraceChunk`]s instead:
+//! peak memory is one chunk plus the id-interning tables, independent of
+//! trace length.
+//!
+//! Each chunk carries the dense interned ids of its conditional records,
+//! assigned by a persistent [`IncrementalInterner`] — so the ids seen across
+//! all chunks are *identical* to the ids [`crate::Trace::intern`] assigns to
+//! the eagerly-read trace, no matter the chunk size. That invariant (pinned
+//! by `tests/streamed_vs_eager.rs`) is what lets a streaming simulation keep
+//! per-branch statistics in flat vectors and still merge bit-identically with
+//! the eager path.
+//!
+//! Any `Read` source works — a file opened via [`ChunkedTraceReader::open_btrt`]
+//! (which is `Read + Seek`, letting callers pre-position the stream with
+//! pread-style offsets before handing it over), a network socket, or an
+//! in-memory buffer; decoding itself is sequential because `BTRT` records are
+//! delta-encoded against their predecessor.
+//!
+//! ```
+//! use btr_trace::io::{binary, chunked::ChunkedTraceReader};
+//! use btr_trace::{BranchAddr, BranchRecord, Outcome, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! for i in 0..10u64 {
+//!     b.push(BranchRecord::conditional(
+//!         BranchAddr::new(0x4000 + (i % 3) * 4),
+//!         Outcome::from_bool(i % 2 == 0),
+//!     ));
+//! }
+//! let trace = b.build();
+//! let mut buf = Vec::new();
+//! binary::write_trace(&mut buf, &trace)?;
+//!
+//! let reader = ChunkedTraceReader::btrt(buf.as_slice(), 4)?;
+//! assert_eq!(reader.metadata().benchmark, "demo");
+//! let chunks: Vec<_> = reader.collect::<btr_trace::Result<_>>()?;
+//! assert_eq!(chunks.len(), 3); // 4 + 4 + 2 records
+//! assert_eq!(chunks[2].first_record(), 8);
+//! # Ok::<(), btr_trace::TraceError>(())
+//! ```
+
+use crate::error::TraceError;
+use crate::interned::{IncrementalInterner, InternedRecord};
+use crate::io::binary::BinaryRecordReader;
+use crate::io::text::TextRecordReader;
+use crate::record::BranchRecord;
+use crate::trace::TraceMetadata;
+use crate::Result;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Default records per chunk: 64 Ki records ≈ 2 MiB of decoded records, small
+/// enough to stay cache- and RAM-friendly, large enough to amortise per-chunk
+/// overhead at tens of millions of records per second.
+pub const DEFAULT_CHUNK_RECORDS: usize = 1 << 16;
+
+/// One bounded window of a trace produced by [`ChunkedTraceReader`].
+///
+/// Carries both the raw records (all kinds, for profile building) and the
+/// conditional subset with dense interned ids inline (for simulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceChunk {
+    index: usize,
+    first_record: u64,
+    records: Vec<BranchRecord>,
+    conditional: Vec<InternedRecord>,
+}
+
+impl TraceChunk {
+    /// The chunk's position in the stream (0, 1, 2, …).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Absolute index (within the whole trace) of this chunk's first record.
+    pub fn first_record(&self) -> u64 {
+        self.first_record
+    }
+
+    /// The decoded records of this chunk, in trace order.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// The conditional records of this chunk with their dense interned ids,
+    /// in trace order. Ids are assigned in global first-appearance order by
+    /// the reader's persistent interner, so they match what
+    /// [`crate::Trace::intern`] would assign over the whole trace.
+    pub fn conditional(&self) -> &[InternedRecord] {
+        &self.conditional
+    }
+
+    /// Number of records (of any kind) in this chunk.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the chunk holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Consumes the chunk, returning its raw record vector.
+    pub fn into_records(self) -> Vec<BranchRecord> {
+        self.records
+    }
+}
+
+/// Decodes a trace stream into bounded fixed-size [`TraceChunk`]s, interning
+/// conditional-branch addresses incrementally as they first appear.
+///
+/// Generic over any record source (`Iterator<Item = Result<BranchRecord>>`);
+/// the provided constructors cover the `BTRT` binary format and the text
+/// format, from readers or files. The iterator yields `Result<TraceChunk>`
+/// and fuses after the first error.
+#[derive(Debug)]
+pub struct ChunkedTraceReader<I> {
+    source: I,
+    metadata: TraceMetadata,
+    declared: Option<u64>,
+    chunk_records: usize,
+    interner: IncrementalInterner,
+    next_chunk: usize,
+    records_read: u64,
+    finished: bool,
+}
+
+impl<R: Read> ChunkedTraceReader<BinaryRecordReader<R>> {
+    /// Starts chunked decoding of a `BTRT` stream, reading and validating the
+    /// header eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic bytes, unsupported versions, or truncated headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn btrt(reader: R, chunk_records: usize) -> Result<Self> {
+        let source = BinaryRecordReader::new(reader)?;
+        let metadata = source.metadata().clone();
+        let declared = Some(source.declared_count());
+        Ok(ChunkedTraceReader::from_records(
+            metadata,
+            declared,
+            source,
+            chunk_records,
+        ))
+    }
+}
+
+impl ChunkedTraceReader<BinaryRecordReader<BufReader<File>>> {
+    /// Opens a `BTRT` file for chunked decoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened or its header is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn open_btrt<P: AsRef<Path>>(path: P, chunk_records: usize) -> Result<Self> {
+        let file = File::open(path)?;
+        ChunkedTraceReader::btrt(BufReader::new(file), chunk_records)
+    }
+}
+
+impl<R: Read> ChunkedTraceReader<TextRecordReader<R>> {
+    /// Starts chunked decoding of a text-format stream. The leading comment
+    /// block is consumed eagerly so [`ChunkedTraceReader::metadata`] is
+    /// populated; the text format declares no record count, so
+    /// [`ChunkedTraceReader::declared_count`] is `None`.
+    ///
+    /// [`ChunkedTraceReader::metadata`] is a snapshot of the *leading*
+    /// comment block only. Metadata comments appearing between records (an
+    /// unconventional layout the eager [`crate::io::text::read_trace`] does
+    /// honour) are folded into the underlying [`TextRecordReader`] as chunks
+    /// are consumed — query them through [`ChunkedTraceReader::source`] after
+    /// draining:
+    ///
+    /// ```
+    /// use btr_trace::ChunkedTraceReader;
+    /// let text = "# benchmark: early\nC 0x40 T\n# seed: 42\nC 0x44 N\n";
+    /// let mut reader = ChunkedTraceReader::text(text.as_bytes(), 8);
+    /// assert_eq!(reader.metadata().seed, None); // leading block only
+    /// for chunk in &mut reader { chunk.unwrap(); }
+    /// assert_eq!(reader.source().metadata().seed, Some(42));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn text(reader: R, chunk_records: usize) -> Self {
+        let source = TextRecordReader::new(reader);
+        let metadata = source.metadata().clone();
+        ChunkedTraceReader::from_records(metadata, None, source, chunk_records)
+    }
+}
+
+impl ChunkedTraceReader<TextRecordReader<BufReader<File>>> {
+    /// Opens a text-format trace file for chunked decoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn open_text<P: AsRef<Path>>(path: P, chunk_records: usize) -> Result<Self> {
+        let file = File::open(path)?;
+        Ok(ChunkedTraceReader::text(
+            BufReader::new(file),
+            chunk_records,
+        ))
+    }
+}
+
+impl<I: Iterator<Item = Result<BranchRecord>>> ChunkedTraceReader<I> {
+    /// Wraps an arbitrary record source. `declared`, when given, is checked
+    /// against the number of records the source actually yields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn from_records(
+        metadata: TraceMetadata,
+        declared: Option<u64>,
+        source: I,
+        chunk_records: usize,
+    ) -> Self {
+        assert!(chunk_records > 0, "chunk size must be at least one record");
+        ChunkedTraceReader {
+            source,
+            metadata,
+            declared,
+            chunk_records,
+            interner: IncrementalInterner::new(),
+            next_chunk: 0,
+            records_read: 0,
+            finished: false,
+        }
+    }
+
+    /// The metadata decoded from the stream header (for text input: from the
+    /// leading comment block — see [`ChunkedTraceReader::text`]).
+    pub fn metadata(&self) -> &TraceMetadata {
+        &self.metadata
+    }
+
+    /// The underlying record source, e.g. to query a [`TextRecordReader`]'s
+    /// up-to-date metadata after mid-stream comment lines were consumed.
+    pub fn source(&self) -> &I {
+        &self.source
+    }
+
+    /// The record count the header declared, if the format carries one.
+    pub fn declared_count(&self) -> Option<u64> {
+        self.declared
+    }
+
+    /// The configured records-per-chunk bound.
+    pub fn chunk_records(&self) -> usize {
+        self.chunk_records
+    }
+
+    /// Records decoded so far across all yielded chunks.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Distinct static conditional branches interned so far.
+    pub fn static_count(&self) -> usize {
+        self.interner.static_count()
+    }
+
+    /// The id → address table built so far, in id (first-appearance) order.
+    /// Grows monotonically as chunks are consumed; after the last chunk it
+    /// equals the eager trace's [`crate::InternedTrace::addrs`].
+    pub fn addrs(&self) -> &[crate::record::BranchAddr] {
+        self.interner.addrs()
+    }
+}
+
+impl<I: Iterator<Item = Result<BranchRecord>>> Iterator for ChunkedTraceReader<I> {
+    type Item = Result<TraceChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        // Size the chunk buffer up front (capped so a huge chunk_records
+        // bound or a lying header cannot force a giant allocation).
+        let expected = match self.declared {
+            Some(declared) => declared
+                .saturating_sub(self.records_read)
+                .min(self.chunk_records as u64) as usize,
+            None => self.chunk_records,
+        };
+        let mut records = Vec::with_capacity(expected.min(1 << 20));
+        let mut conditional = Vec::new();
+        let mut exhausted = false;
+        while records.len() < self.chunk_records {
+            match self.source.next() {
+                Some(Ok(record)) => {
+                    if record.kind().is_conditional() {
+                        let id = self.interner.intern(record.addr());
+                        conditional.push(InternedRecord::new(
+                            record.addr(),
+                            id,
+                            record.outcome().is_taken(),
+                        ));
+                    }
+                    records.push(record);
+                }
+                Some(Err(e)) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        let first_record = self.records_read;
+        self.records_read += records.len() as u64;
+        if exhausted {
+            self.finished = true;
+            if let Some(declared) = self.declared {
+                if declared != self.records_read {
+                    return Some(Err(TraceError::CountMismatch {
+                        declared,
+                        actual: self.records_read,
+                    }));
+                }
+            }
+        }
+        if records.is_empty() {
+            return None;
+        }
+        let chunk = TraceChunk {
+            index: self.next_chunk,
+            first_record,
+            records,
+            conditional,
+        };
+        self.next_chunk += 1;
+        Some(Ok(chunk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::binary;
+    use crate::record::{BranchAddr, BranchKind, Outcome};
+    use crate::trace::{Trace, TraceBuilder};
+
+    fn mixed_trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new("chunks")
+            .with_input_set("mix")
+            .with_seed(9);
+        for i in 0..n {
+            if i % 5 == 4 {
+                b.push(
+                    BranchRecord::new(
+                        BranchAddr::new(0x9000 + i * 4),
+                        BranchKind::Call,
+                        Outcome::Taken,
+                    )
+                    .with_target(BranchAddr::new(0x1_0000 + i)),
+                );
+            } else {
+                b.push(BranchRecord::conditional(
+                    BranchAddr::new(0x4000 + (i % 7) * 4),
+                    Outcome::from_bool(i % 3 == 0),
+                ));
+            }
+        }
+        b.build()
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, trace).unwrap();
+        buf
+    }
+
+    #[test]
+    fn chunks_partition_the_stream_in_order() {
+        let trace = mixed_trace(103);
+        let buf = encode(&trace);
+        let reader = ChunkedTraceReader::btrt(buf.as_slice(), 10).unwrap();
+        assert_eq!(reader.metadata(), trace.metadata());
+        assert_eq!(reader.declared_count(), Some(103));
+        assert_eq!(reader.chunk_records(), 10);
+        let chunks: Vec<TraceChunk> = reader.map(|c| c.unwrap()).collect();
+        assert_eq!(chunks.len(), 11);
+        assert_eq!(chunks[10].len(), 3);
+        let mut all = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.index(), i);
+            assert_eq!(chunk.first_record(), all.len() as u64);
+            all.extend_from_slice(chunk.records());
+        }
+        assert_eq!(all.as_slice(), trace.records());
+    }
+
+    #[test]
+    fn interned_ids_match_the_eager_interner_across_chunk_sizes() {
+        let trace = mixed_trace(64);
+        let buf = encode(&trace);
+        let eager = trace.intern();
+        for chunk_records in [1usize, 3, 7, 64, 1000] {
+            let mut reader = ChunkedTraceReader::btrt(buf.as_slice(), chunk_records).unwrap();
+            let mut streamed = Vec::new();
+            for chunk in &mut reader {
+                streamed.extend_from_slice(chunk.unwrap().conditional());
+            }
+            assert_eq!(streamed.as_slice(), eager.records(), "size {chunk_records}");
+            assert_eq!(reader.addrs(), eager.addrs());
+            assert_eq!(reader.static_count(), eager.static_count());
+            assert_eq!(reader.records_read(), trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_no_chunks() {
+        let trace = TraceBuilder::new("empty").build();
+        let buf = encode(&trace);
+        let mut reader = ChunkedTraceReader::btrt(buf.as_slice(), 8).unwrap();
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+        assert_eq!(reader.records_read(), 0);
+    }
+
+    #[test]
+    fn text_streams_chunk_identically_to_eager_text_reads() {
+        let trace = mixed_trace(41);
+        let mut buf = Vec::new();
+        crate::io::text::write_trace(&mut buf, &trace).unwrap();
+        let reader = ChunkedTraceReader::text(buf.as_slice(), 8);
+        assert_eq!(reader.metadata(), trace.metadata());
+        assert_eq!(reader.declared_count(), None);
+        let all: Vec<BranchRecord> = reader.flat_map(|c| c.unwrap().into_records()).collect();
+        assert_eq!(all.as_slice(), trace.records());
+    }
+
+    #[test]
+    fn text_metadata_snapshot_covers_the_leading_block_and_source_stays_current() {
+        let text = "# benchmark: demo\nC 0x40 T\n# input: late\n# seed: 7\nC 0x44 N\n";
+        let mut reader = ChunkedTraceReader::text(text.as_bytes(), 64);
+        // The snapshot sees only the leading comment block…
+        assert_eq!(reader.metadata().benchmark, "demo");
+        assert_eq!(reader.metadata().seed, None);
+        let total: usize = (&mut reader).map(|c| c.unwrap().len()).sum();
+        assert_eq!(total, 2);
+        // …while the underlying text reader keeps folding mid-stream
+        // comments, matching what the eager text reader reports.
+        assert_eq!(reader.source().metadata().input_set, "late");
+        assert_eq!(reader.source().metadata().seed, Some(7));
+        let eager = crate::io::text::read_trace(&mut text.as_bytes()).unwrap();
+        assert_eq!(eager.metadata(), reader.source().metadata());
+    }
+
+    #[test]
+    fn truncated_streams_surface_the_typed_error_and_fuse() {
+        let trace = mixed_trace(32);
+        let mut buf = encode(&trace);
+        buf.truncate(buf.len() - 1);
+        let mut reader = ChunkedTraceReader::btrt(buf.as_slice(), 8).unwrap();
+        let mut saw_error = false;
+        for chunk in &mut reader {
+            match chunk {
+                Ok(c) => assert!(!c.is_empty()),
+                Err(e) => {
+                    assert!(matches!(e, TraceError::TruncatedRecord { .. }), "{e:?}");
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn count_mismatch_is_reported_for_short_custom_sources() {
+        let records: Vec<crate::Result<BranchRecord>> = (0..3)
+            .map(|i| {
+                Ok(BranchRecord::conditional(
+                    BranchAddr::new(0x40 + i * 4),
+                    Outcome::Taken,
+                ))
+            })
+            .collect();
+        let reader = ChunkedTraceReader::from_records(
+            TraceMetadata::named("short"),
+            Some(5),
+            records.into_iter(),
+            2,
+        );
+        let results: Vec<Result<TraceChunk>> = reader.collect();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results.last().unwrap(),
+            Err(TraceError::CountMismatch {
+                declared: 5,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_chunk_size_is_rejected() {
+        let trace = mixed_trace(4);
+        let buf = encode(&trace);
+        let _ = ChunkedTraceReader::btrt(buf.as_slice(), 0);
+    }
+
+    #[test]
+    fn file_backed_reading_round_trips() {
+        let trace = mixed_trace(57);
+        let dir = std::env::temp_dir().join("btr-chunked-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("roundtrip-{}.btrt", std::process::id()));
+        std::fs::write(&path, encode(&trace)).unwrap();
+        let reader = ChunkedTraceReader::open_btrt(&path, 16).unwrap();
+        let all: Vec<BranchRecord> = reader.flat_map(|c| c.unwrap().into_records()).collect();
+        assert_eq!(all.as_slice(), trace.records());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,6 +7,9 @@
 //!   single flag byte. It is the format used for large generated workloads.
 //! * [`text`] — one record per line (`C 0x00400100 T`), intended for
 //!   hand-written fixtures, debugging and interoperability with scripts.
+//! * [`chunked`] — bounded-memory decoding of either format into fixed-size
+//!   [`chunked::TraceChunk`]s with incrementally interned conditional
+//!   records, for paper-scale traces that must never be materialised whole.
 //!
 //! Both formats round-trip exactly:
 //!
@@ -32,7 +35,9 @@
 //! ```
 
 pub mod binary;
+pub mod chunked;
 pub mod text;
 
 pub use binary::{read_trace as read_binary, write_trace as write_binary, BinaryRecordReader};
-pub use text::{read_trace as read_text, write_trace as write_text};
+pub use chunked::{ChunkedTraceReader, TraceChunk, DEFAULT_CHUNK_RECORDS};
+pub use text::{read_trace as read_text, write_trace as write_text, TextRecordReader};

@@ -47,6 +47,135 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<()> {
     Ok(())
 }
 
+/// Applies one `# key: value` comment line to the metadata being collected.
+fn apply_comment(metadata: &mut TraceMetadata, comment: &str) {
+    let comment = comment.trim();
+    if let Some(value) = comment.strip_prefix("benchmark:") {
+        metadata.benchmark = value.trim().to_string();
+    } else if let Some(value) = comment.strip_prefix("input:") {
+        metadata.input_set = value.trim().to_string();
+    } else if let Some(value) = comment.strip_prefix("seed:") {
+        metadata.seed = value.trim().parse().ok();
+    }
+}
+
+/// Parses one non-empty, non-comment record line.
+fn parse_record_line(trimmed: &str, line_no: usize) -> Result<BranchRecord> {
+    let mut parts = trimmed.split_whitespace();
+    let kind_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+        line: line_no,
+        reason: "missing kind".into(),
+    })?;
+    let kind_char = kind_token.chars().next().unwrap_or('?');
+    let kind =
+        BranchKind::from_mnemonic(kind_char).ok_or(TraceError::UnknownKind { code: kind_char })?;
+    let addr_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+        line: line_no,
+        reason: "missing address".into(),
+    })?;
+    let addr = parse_hex(addr_token, line_no)?;
+    let outcome_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
+        line: line_no,
+        reason: "missing outcome".into(),
+    })?;
+    let outcome = match outcome_token {
+        "T" | "t" | "1" => Outcome::Taken,
+        "N" | "n" | "0" => Outcome::NotTaken,
+        other => {
+            return Err(TraceError::MalformedLine {
+                line: line_no,
+                reason: format!("invalid outcome {other:?}"),
+            })
+        }
+    };
+    let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
+    if let Some(target_token) = parts.next() {
+        record = record.with_target(BranchAddr::new(parse_hex(target_token, line_no)?));
+    }
+    Ok(record)
+}
+
+/// Streaming reader yielding one [`BranchRecord`] at a time from a text
+/// trace, so large text captures never have to be materialised whole.
+///
+/// Construction eagerly consumes the leading comment block (blank lines and
+/// `# key: value` lines) so [`TextRecordReader::metadata`] is complete before
+/// the first record for well-formed files, which write their header first.
+/// Comment lines appearing *between* records are still folded into the
+/// metadata as they are passed.
+#[derive(Debug)]
+pub struct TextRecordReader<R> {
+    reader: BufReader<R>,
+    metadata: TraceMetadata,
+    line_no: usize,
+    /// First record line, prefetched while scanning the leading header block.
+    pending: Option<Result<BranchRecord>>,
+    finished: bool,
+}
+
+impl<R: Read> TextRecordReader<R> {
+    /// Wraps a reader, consuming the leading metadata block.
+    pub fn new(reader: R) -> Self {
+        let mut stream = TextRecordReader {
+            reader: BufReader::new(reader),
+            metadata: TraceMetadata::default(),
+            line_no: 0,
+            pending: None,
+            finished: false,
+        };
+        stream.pending = stream.advance();
+        stream
+    }
+
+    /// The metadata collected from the comment lines consumed so far.
+    pub fn metadata(&self) -> &TraceMetadata {
+        &self.metadata
+    }
+
+    /// Reads lines until the next record, EOF, or an error.
+    fn advance(&mut self) -> Option<Result<BranchRecord>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(TraceError::Io(e))),
+            }
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(comment) = trimmed.strip_prefix('#') {
+                apply_comment(&mut self.metadata, comment);
+                continue;
+            }
+            return Some(parse_record_line(trimmed, self.line_no));
+        }
+    }
+}
+
+impl<R: Read> Iterator for TextRecordReader<R> {
+    type Item = Result<BranchRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let item = match self.pending.take() {
+            Some(pending) => Some(pending),
+            None => self.advance(),
+        };
+        if !matches!(item, Some(Ok(_))) {
+            // Fuse after EOF or the first error: record boundaries after a
+            // malformed line are unreliable.
+            self.finished = true;
+        }
+        item
+    }
+}
+
 fn parse_hex(token: &str, line: usize) -> Result<u64> {
     let stripped = token
         .strip_prefix("0x")
@@ -65,65 +194,14 @@ fn parse_hex(token: &str, line: usize) -> Result<u64> {
 /// Returns an error for malformed lines, unknown kind mnemonics or I/O
 /// failures.
 pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace> {
-    let buffered = BufReader::new(reader);
-    let mut metadata = TraceMetadata::default();
-    let mut builder: Option<TraceBuilder> = None;
+    let mut stream = TextRecordReader::new(reader);
     let mut records = Vec::new();
-
-    for (idx, line) in buffered.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if let Some(comment) = trimmed.strip_prefix('#') {
-            let comment = comment.trim();
-            if let Some(value) = comment.strip_prefix("benchmark:") {
-                metadata.benchmark = value.trim().to_string();
-            } else if let Some(value) = comment.strip_prefix("input:") {
-                metadata.input_set = value.trim().to_string();
-            } else if let Some(value) = comment.strip_prefix("seed:") {
-                metadata.seed = value.trim().parse().ok();
-            }
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let kind_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
-            line: line_no,
-            reason: "missing kind".into(),
-        })?;
-        let kind_char = kind_token.chars().next().unwrap_or('?');
-        let kind = BranchKind::from_mnemonic(kind_char)
-            .ok_or(TraceError::UnknownKind { code: kind_char })?;
-        let addr_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
-            line: line_no,
-            reason: "missing address".into(),
-        })?;
-        let addr = parse_hex(addr_token, line_no)?;
-        let outcome_token = parts.next().ok_or_else(|| TraceError::MalformedLine {
-            line: line_no,
-            reason: "missing outcome".into(),
-        })?;
-        let outcome = match outcome_token {
-            "T" | "t" | "1" => Outcome::Taken,
-            "N" | "n" | "0" => Outcome::NotTaken,
-            other => {
-                return Err(TraceError::MalformedLine {
-                    line: line_no,
-                    reason: format!("invalid outcome {other:?}"),
-                })
-            }
-        };
-        let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
-        if let Some(target_token) = parts.next() {
-            record = record.with_target(BranchAddr::new(parse_hex(target_token, line_no)?));
-        }
-        records.push(record);
-        let _ = &mut builder; // builder constructed after metadata is final
+    for record in &mut stream {
+        records.push(record?);
     }
-
-    let mut b = TraceBuilder::with_metadata(metadata);
+    // Metadata lines may appear anywhere in the file, so the builder is
+    // constructed only after every line has been consumed.
+    let mut b = TraceBuilder::with_metadata(stream.metadata().clone());
     b.extend(records);
     Ok(b.build())
 }

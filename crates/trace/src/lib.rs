@@ -42,7 +42,8 @@ pub mod trace;
 
 pub use error::TraceError;
 pub use filter::{ConditionalOnly, Sampled, Windowed};
-pub use interned::{InternedRecord, InternedTrace};
+pub use interned::{IncrementalInterner, InternedRecord, InternedTrace};
+pub use io::chunked::{ChunkedTraceReader, TraceChunk, DEFAULT_CHUNK_RECORDS};
 pub use record::{BranchAddr, BranchKind, BranchRecord, Outcome};
 pub use stats::{AddrStats, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceMetadata};

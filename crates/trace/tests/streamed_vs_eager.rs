@@ -1,0 +1,140 @@
+//! Equivalence suite pinning the chunked reader to the eager readers: over
+//! arbitrary traces and chunk sizes — degenerate (1), prime (7), typical
+//! (4096) and larger-than-the-trace — the concatenated chunks must be
+//! bit-identical to `read_binary` / `read_text`, and the incrementally
+//! interned ids must match `Trace::intern` exactly.
+
+use btr_trace::io::{binary, text};
+use btr_trace::{
+    BranchAddr, BranchKind, BranchRecord, ChunkedTraceReader, InternedRecord, Outcome, Trace,
+    TraceMetadata,
+};
+use proptest::prelude::*;
+
+/// The chunk sizes every property is checked under.
+const CHUNK_SIZES: [usize; 4] = [1, 7, 4096, 100_000];
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::Indirect),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..0x1_0000_0000u64,
+        arb_kind(),
+        any::<bool>(),
+        proptest::option::of(0u64..0x1_0000_0000u64),
+    )
+        .prop_map(|(addr, kind, taken, target)| {
+            let mut r = BranchRecord::new(BranchAddr::new(addr), kind, Outcome::from_bool(taken));
+            if let Some(t) = target {
+                r = r.with_target(BranchAddr::new(t));
+            }
+            r
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(arb_record(), 0..300),
+        any::<u64>(),
+    )
+        .prop_map(|(records, seed)| {
+            let meta = TraceMetadata::named("stream")
+                .with_input_set("fuzz")
+                .with_seed(seed);
+            Trace::from_records(meta, records)
+        })
+}
+
+/// Drains a chunked reader, returning (records, interned conditionals, addrs).
+fn drain<I: Iterator<Item = btr_trace::Result<BranchRecord>>>(
+    mut reader: ChunkedTraceReader<I>,
+) -> (Vec<BranchRecord>, Vec<InternedRecord>, Vec<BranchAddr>) {
+    let mut records = Vec::new();
+    let mut conditional = Vec::new();
+    for (expected_index, chunk) in (&mut reader).enumerate() {
+        let chunk = chunk.expect("well-formed stream must decode");
+        assert_eq!(chunk.index(), expected_index);
+        assert_eq!(chunk.first_record(), records.len() as u64);
+        assert!(!chunk.is_empty(), "readers never yield empty chunks");
+        conditional.extend_from_slice(chunk.conditional());
+        records.extend(chunk.into_records());
+    }
+    let addrs = reader.addrs().to_vec();
+    (records, conditional, addrs)
+}
+
+proptest! {
+    #[test]
+    fn chunked_btrt_is_bit_identical_to_read_binary(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, &trace).unwrap();
+        let eager = binary::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(eager.records(), trace.records());
+        for chunk_records in CHUNK_SIZES {
+            let reader = ChunkedTraceReader::btrt(buf.as_slice(), chunk_records).unwrap();
+            prop_assert_eq!(reader.metadata(), eager.metadata());
+            prop_assert_eq!(reader.declared_count(), Some(trace.len() as u64));
+            let (records, _, _) = drain(reader);
+            prop_assert_eq!(records.as_slice(), eager.records(), "chunk size {}", chunk_records);
+        }
+    }
+
+    #[test]
+    fn chunked_interning_matches_eager_interning(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, &trace).unwrap();
+        let eager = trace.intern();
+        for chunk_records in CHUNK_SIZES {
+            let reader = ChunkedTraceReader::btrt(buf.as_slice(), chunk_records).unwrap();
+            let (_, conditional, addrs) = drain(reader);
+            prop_assert_eq!(conditional.as_slice(), eager.records(), "chunk size {}", chunk_records);
+            prop_assert_eq!(addrs.as_slice(), eager.addrs(), "chunk size {}", chunk_records);
+        }
+    }
+
+    #[test]
+    fn chunked_text_is_bit_identical_to_read_text(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        text::write_trace(&mut buf, &trace).unwrap();
+        let eager = text::read_trace(&mut buf.as_slice()).unwrap();
+        let eager_interned = eager.intern();
+        for chunk_records in CHUNK_SIZES {
+            let reader = ChunkedTraceReader::text(buf.as_slice(), chunk_records);
+            prop_assert_eq!(reader.metadata(), eager.metadata());
+            let (records, conditional, _) = drain(reader);
+            prop_assert_eq!(records.as_slice(), eager.records(), "chunk size {}", chunk_records);
+            prop_assert_eq!(conditional.as_slice(), eager_interned.records());
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_partition_exactly(
+        trace in arb_trace(),
+        chunk_records in 1usize..50,
+    ) {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, &trace).unwrap();
+        let reader = ChunkedTraceReader::btrt(buf.as_slice(), chunk_records).unwrap();
+        let chunks: Vec<_> = reader.map(|c| c.unwrap()).collect();
+        // Every chunk except the last is exactly full.
+        for chunk in chunks.iter().rev().skip(1) {
+            prop_assert_eq!(chunk.len(), chunk_records);
+        }
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        if let Some(last) = chunks.last() {
+            prop_assert!(last.len() <= chunk_records);
+            prop_assert!(!last.is_empty());
+        }
+    }
+}

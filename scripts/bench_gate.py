@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff two CRITERION_JSON line files.
+
+The vendored criterion appends one JSON object per benchmark to
+$CRITERION_JSON, carrying `id`, `mean_ns` and (for throughput benches)
+`per_sec`. CI archives that file per run; this script compares the current
+run against the previous artifact and fails when any benchmark's records/sec
+drops by more than the threshold (default 15%).
+
+Benchmarks without a `per_sec` field fall back to comparing `mean_ns`
+(inverted, so "slower" is a regression either way). Ids present in only one
+file are reported but never fail the gate — benches come and go across PRs.
+
+Usage: bench_gate.py BASELINE.json CURRENT.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Parses a JSON-lines bench file into {id: rate}, last write wins."""
+    rates = {}
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{line_no}: skipping unparsable line ({e})")
+                continue
+            bench_id = row.get("id")
+            if bench_id is None:
+                continue
+            if row.get("per_sec"):
+                rates[bench_id] = float(row["per_sec"])
+            elif row.get("mean_ns"):
+                # No throughput declared: use inverse time so that a larger
+                # value is still "faster".
+                rates[bench_id] = 1e9 / float(row["mean_ns"])
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated fractional throughput drop (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if not baseline:
+        print(f"gate: baseline {args.baseline} holds no benchmarks; passing trivially")
+        return 0
+
+    failures = []
+    for bench_id in sorted(set(baseline) | set(current)):
+        old = baseline.get(bench_id)
+        new = current.get(bench_id)
+        if old is None:
+            print(f"  NEW      {bench_id}: {new:.3e}/s (no baseline)")
+            continue
+        if new is None:
+            print(f"  DROPPED  {bench_id}: was {old:.3e}/s (not failing the gate)")
+            continue
+        change = (new - old) / old
+        status = "OK"
+        if change < -args.threshold:
+            status = "REGRESSED"
+            failures.append((bench_id, old, new, change))
+        print(f"  {status:<9}{bench_id}: {old:.3e} -> {new:.3e}/s ({change:+.1%})")
+
+    if failures:
+        print(
+            f"\ngate: {len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:"
+        )
+        for bench_id, old, new, change in failures:
+            print(f"  {bench_id}: {old:.3e} -> {new:.3e}/s ({change:+.1%})")
+        return 1
+    print(f"\ngate: no regression beyond {args.threshold:.0%} across {len(current)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
