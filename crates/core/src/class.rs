@@ -8,11 +8,11 @@
 //! and class 10 is `[95%, 100%]`. The alternative [`BinningScheme::Uniform`]
 //! and Chang et al.'s original six classes are provided for ablations.
 
-use serde::{Deserialize, Serialize};
+use btr_wire::{Value, Wire, WireError};
 use std::fmt;
 
 /// A class index under some binning scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub usize);
 
 impl ClassId {
@@ -29,7 +29,7 @@ impl fmt::Display for ClassId {
 }
 
 /// How a rate in `[0, 1]` is mapped to a class.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinningScheme {
     /// The paper's 11 classes: `[0,5%)`, nine 10%-wide classes, `[95%,100%]`.
     #[default]
@@ -174,6 +174,48 @@ impl fmt::Display for BinningScheme {
     }
 }
 
+/// [`ClassId`] encodes as its raw index.
+impl Wire for ClassId {
+    fn to_value(&self) -> Value {
+        Value::U64(self.0 as u64)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        Ok(ClassId(value.as_u64()? as usize))
+    }
+}
+
+/// [`BinningScheme`] encodes as its display string (`"paper-11"`,
+/// `"uniform-<n>"` or `"chang-6"`), keeping scheme fields self-describing in
+/// JSON artifacts.
+impl Wire for BinningScheme {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let label = value.as_str()?;
+        if let Some(classes) = label.strip_prefix("uniform-") {
+            let n: usize = classes
+                .parse()
+                .map_err(|_| WireError::schema(format!("bad uniform class count in {label:?}")))?;
+            if n == 0 {
+                return Err(WireError::schema(
+                    "uniform binning needs at least one class",
+                ));
+            }
+            return Ok(BinningScheme::Uniform(n));
+        }
+        match label {
+            "paper-11" => Ok(BinningScheme::Paper11),
+            "chang-6" => Ok(BinningScheme::Chang6),
+            other => Err(WireError::schema(format!(
+                "unknown binning scheme {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +297,28 @@ mod tests {
         );
         let c = BinningScheme::Chang6;
         assert_eq!(c.taken_easy_classes(), vec![ClassId(0), ClassId(5)]);
+    }
+
+    #[test]
+    fn schemes_and_class_ids_roundtrip_on_the_wire() {
+        for scheme in [
+            BinningScheme::Paper11,
+            BinningScheme::Uniform(7),
+            BinningScheme::Chang6,
+        ] {
+            assert_eq!(
+                BinningScheme::from_json(&scheme.to_json().unwrap()).unwrap(),
+                scheme
+            );
+            assert_eq!(BinningScheme::from_btrw(&scheme.to_btrw()).unwrap(), scheme);
+        }
+        assert_eq!(
+            ClassId::from_json(&ClassId(5).to_json().unwrap()).unwrap(),
+            ClassId(5)
+        );
+        assert!(BinningScheme::from_value(&Value::Str("florp".into())).is_err());
+        assert!(BinningScheme::from_value(&Value::Str("uniform-x".into())).is_err());
+        assert!(BinningScheme::from_value(&Value::Str("uniform-0".into())).is_err());
     }
 
     #[test]

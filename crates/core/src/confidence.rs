@@ -10,7 +10,6 @@ use crate::class::BinningScheme;
 use crate::profile::ProgramProfile;
 use btr_predictors::confidence::{Confidence, ConfidenceEstimator};
 use btr_trace::BranchAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A static, profile-derived confidence estimator.
@@ -19,7 +18,7 @@ use std::collections::BTreeMap;
 /// from 50% — strongly biased branches are predictable by bias, strongly
 /// alternating branches are predictable with a bit of history — and *low
 /// confidence* when both rates sit near the centre of the joint table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassConfidence {
     /// Minimum distance-from-50% (in rate units, 0–0.5) that either metric
     /// must reach for a branch to be called high confidence.

@@ -2,10 +2,10 @@
 
 use crate::class::{BinningScheme, ClassId};
 use crate::profile::ProgramProfile;
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// Which of the two metrics a distribution or matrix is over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Chang et al.'s taken rate (bias).
     TakenRate,
@@ -25,7 +25,7 @@ impl Metric {
 
 /// The percentage of dynamic branch executions falling in each class of one
 /// metric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassDistribution {
     metric: Metric,
     scheme: BinningScheme,
@@ -109,6 +109,71 @@ impl ClassDistribution {
     }
 }
 
+/// [`Metric`] encodes as a snake-case tag (`"taken_rate"` /
+/// `"transition_rate"`).
+impl Wire for Metric {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Metric::TakenRate => "taken_rate",
+                Metric::TransitionRate => "transition_rate",
+            }
+            .to_string(),
+        )
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        match value.as_str()? {
+            "taken_rate" => Ok(Metric::TakenRate),
+            "transition_rate" => Ok(Metric::TransitionRate),
+            other => Err(WireError::schema(format!("unknown metric {other:?}"))),
+        }
+    }
+}
+
+/// [`ClassDistribution`] encodes its per-class dynamic counts as a dense
+/// unsigned column; the stored total must equal the column sum, which decode
+/// re-validates rather than trusts.
+impl Wire for ClassDistribution {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("metric", self.metric.to_value())
+            .field("scheme", self.scheme.to_value())
+            .field("counts", self.counts.clone())
+            .field("total", self.total)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let metric = Metric::from_value(value.get("metric")?)?;
+        let scheme = BinningScheme::from_value(value.get("scheme")?)?;
+        let counts = value.get("counts")?.as_u64_seq()?;
+        let total = value.get("total")?.as_u64()?;
+        if counts.len() != scheme.class_count() {
+            return Err(WireError::schema(format!(
+                "distribution has {} counts for a {}-class scheme",
+                counts.len(),
+                scheme.class_count()
+            )));
+        }
+        let sum: u64 = counts
+            .iter()
+            .try_fold(0u64, |acc, c| acc.checked_add(*c))
+            .ok_or_else(|| WireError::schema("distribution counts overflow u64"))?;
+        if sum != total {
+            return Err(WireError::schema(format!(
+                "distribution total {total} does not match count sum {sum}"
+            )));
+        }
+        Ok(ClassDistribution {
+            metric,
+            scheme,
+            counts,
+            total,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +223,32 @@ mod tests {
         let d = ClassDistribution::from_profile(&profile, Metric::TakenRate, scheme);
         let easy = d.coverage(&scheme.taken_easy_classes());
         assert!((easy - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributions_roundtrip_on_the_wire() {
+        let profile = profile_with(&[(0x10, 900, 900, 0), (0x20, 100, 50, 50)]);
+        for metric in [Metric::TakenRate, Metric::TransitionRate] {
+            let d = ClassDistribution::from_profile(&profile, metric, BinningScheme::Paper11);
+            assert_eq!(
+                ClassDistribution::from_json(&d.to_json().unwrap()).unwrap(),
+                d
+            );
+            assert_eq!(ClassDistribution::from_btrw(&d.to_btrw()).unwrap(), d);
+        }
+        // A tampered total is rejected instead of trusted.
+        let d =
+            ClassDistribution::from_profile(&profile, Metric::TakenRate, BinningScheme::Paper11);
+        let mut v = d.to_value();
+        if let Value::Map(entries) = &mut v {
+            for (k, field) in entries.iter_mut() {
+                if k == "total" {
+                    *field = Value::U64(1);
+                }
+            }
+        }
+        assert!(ClassDistribution::from_value(&v).is_err());
+        assert!(Metric::from_value(&Value::Str("florp".into())).is_err());
     }
 
     #[test]

@@ -4,14 +4,13 @@
 use crate::class::{BinningScheme, ClassId};
 use crate::profile::ProgramProfile;
 use btr_trace::{BranchAddr, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Which joint classes count as "hard to predict".
 ///
 /// The paper's Figure 15 uses exactly the 5/5 class; a slightly wider window
 /// around the centre is useful for sensitivity studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HardBranchCriteria {
     /// Lowest taken class considered hard (inclusive).
     pub taken_min: usize,
@@ -58,7 +57,7 @@ impl Default for HardBranchCriteria {
 }
 
 /// The set of static branches classified as hard to predict.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HardBranchSet {
     addrs: BTreeSet<BranchAddr>,
     dynamic_executions: u64,
@@ -125,7 +124,7 @@ impl HardBranchSet {
 /// A distance of 1 means the very next conditional branch executed was also a
 /// hard branch; the final bucket pools every distance of `max_distance` or
 /// more ("8+" in the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceHistogram {
     max_distance: usize,
     counts: Vec<u64>,

@@ -3,11 +3,11 @@
 use crate::class::{BinningScheme, ClassId};
 use crate::distribution::ClassDistribution;
 use crate::profile::ProgramProfile;
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// Dynamic-weighted joint distribution of branches over
 /// (taken class, transition class) cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JointClassTable {
     scheme: BinningScheme,
     /// `counts[transition][taken]`, dynamic execution counts.
@@ -162,6 +162,73 @@ impl JointClassTable {
     }
 }
 
+/// Encodes a square `counts[transition][taken]` grid as a list of dense
+/// unsigned rows.
+fn grid_to_value(grid: &[Vec<u64>]) -> Value {
+    Value::List(grid.iter().map(|row| Value::U64s(row.clone())).collect())
+}
+
+/// Decodes a square grid, validating that it is `n × n`.
+fn grid_from_value(value: &Value, n: usize, what: &str) -> Result<Vec<Vec<u64>>, WireError> {
+    let rows = value.as_list()?;
+    if rows.len() != n {
+        return Err(WireError::schema(format!(
+            "{what} has {} rows for a {n}-class scheme",
+            rows.len()
+        )));
+    }
+    rows.iter()
+        .map(|row| {
+            let row = row.as_u64_seq()?;
+            if row.len() != n {
+                return Err(WireError::schema(format!(
+                    "{what} row has {} cells for a {n}-class scheme",
+                    row.len()
+                )));
+            }
+            Ok(row)
+        })
+        .collect()
+}
+
+/// [`JointClassTable`] encodes its dynamic and static count grids row by row
+/// (`counts[transition][taken]`, matching the in-memory layout); the stored
+/// total must equal the dynamic grid sum, which decode re-validates.
+impl Wire for JointClassTable {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("scheme", self.scheme.to_value())
+            .field("counts", grid_to_value(&self.counts))
+            .field("static_counts", grid_to_value(&self.static_counts))
+            .field("total", self.total)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let scheme = BinningScheme::from_value(value.get("scheme")?)?;
+        let n = scheme.class_count();
+        let counts = grid_from_value(value.get("counts")?, n, "joint count grid")?;
+        let static_counts = grid_from_value(value.get("static_counts")?, n, "joint static grid")?;
+        let total = value.get("total")?.as_u64()?;
+        let sum = counts
+            .iter()
+            .flatten()
+            .try_fold(0u64, |acc, c| acc.checked_add(*c))
+            .ok_or_else(|| WireError::schema("joint counts overflow u64"))?;
+        if sum != total {
+            return Err(WireError::schema(format!(
+                "joint table total {total} does not match cell sum {sum}"
+            )));
+        }
+        Ok(JointClassTable {
+            scheme,
+            counts,
+            static_counts,
+            total,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +309,32 @@ mod tests {
         assert_eq!(cells.len(), 121);
         let sum: f64 = cells.iter().map(|(_, _, p)| p).sum();
         assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_tables_roundtrip_on_the_wire() {
+        for scheme in [BinningScheme::Paper11, BinningScheme::Uniform(3)] {
+            let table = JointClassTable::from_profile(&sample_profile(), scheme);
+            assert_eq!(
+                JointClassTable::from_json(&table.to_json().unwrap()).unwrap(),
+                table
+            );
+            assert_eq!(JointClassTable::from_btrw(&table.to_btrw()).unwrap(), table);
+        }
+        // A wrong-shaped grid or tampered total is rejected.
+        let table = JointClassTable::from_profile(&sample_profile(), BinningScheme::Uniform(3));
+        let mut v = table.to_value();
+        if let Value::Map(entries) = &mut v {
+            for (k, field) in entries.iter_mut() {
+                if k == "total" {
+                    *field = Value::U64(1);
+                }
+            }
+        }
+        assert!(JointClassTable::from_value(&v).is_err());
+        let bad =
+            "{\"scheme\":\"uniform-2\",\"counts\":[[1,2]],\"static_counts\":[[1,2],[0,0]],\"total\":3}";
+        assert!(JointClassTable::from_json(bad).is_err());
     }
 
     #[test]

@@ -9,10 +9,9 @@
 use crate::class::BinningScheme;
 use crate::profile::{BranchProfile, ProgramProfile};
 use btr_trace::BranchAddr;
-use serde::{Deserialize, Serialize};
 
 /// Why a branch was or was not recommended for predication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredicationVerdict {
     /// Hard to predict and cheap to predicate: a good candidate.
     Recommend,
@@ -24,7 +23,7 @@ pub enum PredicationVerdict {
 }
 
 /// One scored predication candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredicationCandidate {
     /// The branch address.
     pub addr: BranchAddr,
@@ -38,7 +37,7 @@ pub struct PredicationCandidate {
 }
 
 /// Policy knobs for candidate selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredicationPolicy {
     /// Rates closer to 50% than this distance count as hard to predict.
     pub hardness_threshold: f64,
@@ -106,7 +105,7 @@ fn score_branch(
 }
 
 /// Summary of a candidate selection run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PredicationSummary {
     /// Number of branches recommended for predication.
     pub recommended: usize,

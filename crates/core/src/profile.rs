@@ -4,11 +4,11 @@
 use crate::class::{BinningScheme, ClassId};
 use crate::rates::{TakenRate, TransitionRate};
 use btr_trace::{BranchAddr, Trace, TraceStats};
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 use std::collections::BTreeMap;
 
 /// The profile of one static conditional branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchProfile {
     addr: BranchAddr,
     executions: u64,
@@ -85,7 +85,7 @@ impl BranchProfile {
 
 /// The profile of a whole program (or benchmark suite): one
 /// [`BranchProfile`] per static conditional branch.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProgramProfile {
     branches: BTreeMap<BranchAddr, BranchProfile>,
     total_dynamic: u64,
@@ -193,6 +193,111 @@ impl<'a> IntoIterator for &'a ProgramProfile {
 
     fn into_iter(self) -> Self::IntoIter {
         self.branches.values()
+    }
+}
+
+/// Checks the [`BranchProfile`] count invariants, returning a schema error
+/// (instead of the constructor's panic) so wire decoding never trusts bytes.
+fn checked_branch_profile(
+    addr: BranchAddr,
+    executions: u64,
+    taken: u64,
+    transitions: u64,
+) -> Result<BranchProfile, WireError> {
+    if taken > executions {
+        return Err(WireError::schema(format!(
+            "branch {addr}: taken count {taken} exceeds executions {executions}"
+        )));
+    }
+    if executions > 0 && transitions >= executions {
+        return Err(WireError::schema(format!(
+            "branch {addr}: transition count {transitions} exceeds executions - 1"
+        )));
+    }
+    Ok(BranchProfile::new(addr, executions, taken, transitions))
+}
+
+/// [`BranchProfile`] encodes its four raw counts; decode re-validates the
+/// count invariants.
+impl Wire for BranchProfile {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("addr", self.addr.raw())
+            .field("executions", self.executions)
+            .field("taken", self.taken)
+            .field("transitions", self.transitions)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        checked_branch_profile(
+            BranchAddr::new(value.get("addr")?.as_u64()?),
+            value.get("executions")?.as_u64()?,
+            value.get("taken")?.as_u64()?,
+            value.get("transitions")?.as_u64()?,
+        )
+    }
+}
+
+/// [`ProgramProfile`] encodes columnar: four equal-length dense unsigned
+/// sequences (`addrs` sorted ascending, plus the three count columns in the
+/// same order). Sorted address columns delta-encode to a few bytes per
+/// branch in `BTRW`; the derived `total_dynamic` is recomputed on decode
+/// rather than carried on the wire.
+impl Wire for ProgramProfile {
+    fn to_value(&self) -> Value {
+        let mut addrs = Vec::with_capacity(self.branches.len());
+        let mut executions = Vec::with_capacity(self.branches.len());
+        let mut taken = Vec::with_capacity(self.branches.len());
+        let mut transitions = Vec::with_capacity(self.branches.len());
+        for branch in self.iter() {
+            addrs.push(branch.addr().raw());
+            executions.push(branch.executions());
+            taken.push(branch.taken());
+            transitions.push(branch.transitions());
+        }
+        MapBuilder::new()
+            .field("addrs", addrs)
+            .field("executions", executions)
+            .field("taken", taken)
+            .field("transitions", transitions)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let addrs = value.get("addrs")?.as_u64_seq()?;
+        let executions = value.get("executions")?.as_u64_seq()?;
+        let taken = value.get("taken")?.as_u64_seq()?;
+        let transitions = value.get("transitions")?.as_u64_seq()?;
+        if executions.len() != addrs.len()
+            || taken.len() != addrs.len()
+            || transitions.len() != addrs.len()
+        {
+            return Err(WireError::schema(format!(
+                "profile columns disagree on length: {} addrs, {} executions, {} taken, {} transitions",
+                addrs.len(),
+                executions.len(),
+                taken.len(),
+                transitions.len()
+            )));
+        }
+        let mut profile = ProgramProfile::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let branch = checked_branch_profile(
+                BranchAddr::new(addr),
+                executions[i],
+                taken[i],
+                transitions[i],
+            )?;
+            if profile.branches.contains_key(&branch.addr()) {
+                return Err(WireError::schema(format!(
+                    "profile lists branch {} twice",
+                    branch.addr()
+                )));
+            }
+            profile.insert(branch);
+        }
+        Ok(profile)
     }
 }
 
@@ -309,6 +414,36 @@ mod tests {
         assert_eq!(hard.len(), 2);
         assert!(hard.contains(&BranchAddr::new(0x10)));
         assert!(hard.contains(&BranchAddr::new(0x30)));
+    }
+
+    #[test]
+    fn profiles_roundtrip_on_the_wire() {
+        let p: ProgramProfile = vec![
+            profile(0x30, 10, 5, 2),
+            profile(0x10, 100, 97, 4),
+            profile(u64::MAX, 3, 0, 2),
+        ]
+        .into_iter()
+        .collect();
+        let via_json = ProgramProfile::from_json(&p.to_json().unwrap()).unwrap();
+        assert_eq!(via_json, p);
+        assert_eq!(via_json.total_dynamic(), p.total_dynamic());
+        assert_eq!(ProgramProfile::from_btrw(&p.to_btrw()).unwrap(), p);
+        let b = profile(0x40, 7, 3, 2);
+        assert_eq!(BranchProfile::from_json(&b.to_json().unwrap()).unwrap(), b);
+    }
+
+    #[test]
+    fn wire_decode_rejects_invalid_profiles() {
+        // taken > executions must fail as a schema error, not a panic.
+        let bad = "{\"addr\":16,\"executions\":5,\"taken\":6,\"transitions\":0}";
+        assert!(BranchProfile::from_json(bad).is_err());
+        // Mismatched column lengths.
+        let bad = "{\"addrs\":[1,2],\"executions\":[3],\"taken\":[0],\"transitions\":[0]}";
+        assert!(ProgramProfile::from_json(bad).is_err());
+        // Duplicate addresses.
+        let bad = "{\"addrs\":[1,1],\"executions\":[3,3],\"taken\":[0,0],\"transitions\":[0,0]}";
+        assert!(ProgramProfile::from_json(bad).is_err());
     }
 
     #[test]

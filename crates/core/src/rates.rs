@@ -1,13 +1,12 @@
 //! The two branch-behaviour metrics of the paper: taken rate and transition
 //! rate, as validated newtypes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! rate_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
         pub struct $name(f64);
 
         impl $name {

@@ -1,16 +1,43 @@
 //! Plain-text rendering of tables, colormaps and line series, used by the
 //! `reproduce` binary and the examples to print paper-style artefacts.
+//!
+//! These renderers are the *human-facing* half of the artifact story: each
+//! returns a `String` ready for stdout, and `reproduce --out-dir` writes the
+//! same strings to `.txt` files next to the machine-readable JSON/`BTRW`
+//! artifacts (produced via `btr_wire::Wire` from the same structured data,
+//! and cross-checked against these renderings by
+//! `scripts/check_artifacts.py` in CI). Layout conventions shared by every
+//! renderer:
+//!
+//! * tables right-align cells in columns two spaces apart, with a dashed
+//!   separator under the header ([`ascii_table`]);
+//! * distributions render one `class | percent bar` line per class, one `#`
+//!   per two percentage points ([`render_distribution`]);
+//! * miss rates print with three decimals, `-` marking cells no simulated
+//!   branch fell into;
+//! * colormaps shade cells `.` (≈0% misses) through `#` (≥50%), blank for
+//!   empty cells ([`render_joint_miss_matrix`]).
 
 use crate::analysis::{ClassHistoryMatrix, JointMissMatrix};
 use crate::distribution::ClassDistribution;
 use crate::joint::JointClassTable;
 
 /// Renders a simple aligned table with a header row.
+///
+/// Column count is the *widest* of the header and every row: a row carrying
+/// more cells than the header keeps its extra cells (rendered under empty
+/// header space) instead of being silently truncated, and short rows are
+/// simply left ragged. Cells are right-aligned, two spaces apart.
 pub fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
-    let columns = headers.len();
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate().take(columns) {
+    let columns = rows
+        .iter()
+        .map(Vec::len)
+        .chain(std::iter::once(headers.len()))
+        .max()
+        .unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for cells in std::iter::once(headers).chain(rows.iter().map(Vec::as_slice)) {
+        for (i, cell) in cells.iter().enumerate() {
             if cell.len() > widths[i] {
                 widths[i] = cell.len();
             }
@@ -38,7 +65,10 @@ pub fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Renders rows as comma-separated values with a header.
+/// Renders rows as comma-separated values with a header row.
+///
+/// Cells are joined verbatim — callers own quoting/escaping, which the
+/// numeric tables this crate emits never need.
 pub fn csv(headers: &[String], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&headers.join(","));
@@ -50,6 +80,8 @@ pub fn csv(headers: &[String], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Formats an optional miss rate with three decimals, `-` when no branch of
+/// the class was simulated (distinct from a genuine 0.000 rate).
 fn fmt_opt_rate(rate: Option<f64>) -> String {
     match rate {
         Some(r) => format!("{:.3}", r),
@@ -57,7 +89,9 @@ fn fmt_opt_rate(rate: Option<f64>) -> String {
     }
 }
 
-/// Renders a class distribution (Figure 1 / Figure 2) as a bar list.
+/// Renders a class distribution (Figure 1 / Figure 2) as a bar list: one
+/// line per class with its dynamic percentage and a `#` bar (one `#` per two
+/// percentage points).
 pub fn render_distribution(title: &str, distribution: &ClassDistribution) -> String {
     let mut out = format!("{title}\n");
     for class in distribution.scheme().classes() {
@@ -68,7 +102,10 @@ pub fn render_distribution(title: &str, distribution: &ClassDistribution) -> Str
     out
 }
 
-/// Renders a joint class table (Table 2) with row and column totals.
+/// Renders a joint class table (Table 2) with row and column totals: one
+/// row per transition class, one column per taken class, percentages with
+/// two decimals, and a `Total` row/column whose grand total reads 100.00 for
+/// any non-empty profile.
 pub fn render_joint_table(title: &str, table: &JointClassTable) -> String {
     let scheme = table.scheme();
     let mut headers = vec!["trans\\taken".to_string()];
@@ -93,8 +130,9 @@ pub fn render_joint_table(title: &str, table: &JointClassTable) -> String {
     format!("{title}\n{}", ascii_table(&headers, &rows))
 }
 
-/// Renders a class × history miss-rate matrix (Figures 5–8) as a shaded map
-/// plus numeric values.
+/// Renders a class × history miss-rate matrix (Figures 5–8) as a numeric
+/// table: one row per history length, one column per class, `-` for empty
+/// cells.
 pub fn render_class_history_matrix(title: &str, matrix: &ClassHistoryMatrix) -> String {
     let scheme = matrix.scheme();
     let mut headers = vec!["hist\\class".to_string()];
@@ -110,7 +148,9 @@ pub fn render_class_history_matrix(title: &str, matrix: &ClassHistoryMatrix) -> 
     format!("{title}\n{}", ascii_table(&headers, &rows))
 }
 
-/// Renders selected class curves across history lengths (Figures 9–12).
+/// Renders selected class curves across history lengths (Figures 9–12): one
+/// row per history length, one column per requested class index, so each
+/// column reads top to bottom as one curve of the paper's line plots.
 pub fn render_history_curves(
     title: &str,
     matrix: &ClassHistoryMatrix,
@@ -209,6 +249,26 @@ mod tests {
         assert!(out.contains("name"));
         assert!(out.contains("long-name"));
         assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_table_keeps_cells_of_rows_wider_than_the_header() {
+        // Regression: rows wider than the header used to lose their extra
+        // cells to a `.take(headers.len())`.
+        let out = ascii_table(
+            &["only".to_string()],
+            &[
+                vec!["a".to_string(), "extra-cell".to_string()],
+                vec!["b".to_string()],
+            ],
+        );
+        assert!(out.contains("extra-cell"), "{out}");
+        // The ragged short row still renders, and the separator spans both
+        // columns.
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].len(), "only".len() + 2 + "extra-cell".len());
+        assert!(lines[3].trim_end().ends_with('b'));
     }
 
     #[test]

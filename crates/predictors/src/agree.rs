@@ -12,11 +12,10 @@ use crate::history::GlobalHistory;
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The Agree predictor with a gshare-style index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgreePredictor {
     history: GlobalHistory,
     pht: PatternHistoryTable,

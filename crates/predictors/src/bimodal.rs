@@ -9,10 +9,9 @@
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// Address-indexed table of saturating counters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BimodalPredictor {
     table: PatternHistoryTable,
 }

@@ -10,10 +10,9 @@ use crate::history::GlobalHistory;
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// The Bi-Mode predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BiModePredictor {
     history: GlobalHistory,
     taken_pht: PatternHistoryTable,

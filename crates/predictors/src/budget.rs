@@ -6,11 +6,10 @@
 //! configurations against them.
 
 use crate::predictor::BranchPredictor;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A predictor state budget expressed in bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HardwareBudget {
     bits: u64,
 }

@@ -10,10 +10,9 @@
 
 use crate::counter::CappedCounter;
 use btr_trace::BranchAddr;
-use serde::{Deserialize, Serialize};
 
 /// A binary confidence decision for one upcoming prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Confidence {
     /// The prediction is expected to be correct.
     High,
@@ -47,7 +46,7 @@ pub trait ConfidenceEstimator {
 ///   that were flagged low-confidence.
 /// * *accuracy* (PVN): the fraction of low-confidence flags that really were
 ///   mispredictions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfidenceStats {
     /// Predictions flagged low-confidence that were indeed mispredicted.
     pub low_and_wrong: u64,
@@ -114,7 +113,7 @@ impl ConfidenceStats {
 /// Jacobsen's one-level estimator: a table of resetting counters indexed by
 /// branch address. A counter is incremented on a correct prediction and reset
 /// on a misprediction; confidence is high once the counter saturates.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JacobsenOneLevel {
     index_bits: u32,
     threshold: u32,
@@ -169,7 +168,7 @@ impl ConfidenceEstimator for JacobsenOneLevel {
 /// correct/incorrect history per branch; the pattern indexes a second-level
 /// table of resetting counters shared by all branches with the same recent
 /// behaviour.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JacobsenTwoLevel {
     addr_index_bits: u32,
     history_bits: u32,

@@ -2,7 +2,6 @@
 //! branch predictors.
 
 use btr_trace::Outcome;
-use serde::{Deserialize, Serialize};
 
 /// An `n`-bit saturating counter in the range `[0, 2^n - 1]`.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// c.train(Outcome::Taken);
 /// assert_eq!(c.predict(), Outcome::Taken);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SaturatingCounter {
     bits: u8,
     value: u8,
@@ -132,7 +131,7 @@ impl Default for SaturatingCounter {
 
 /// A resettable up counter with a fixed cap, used by confidence estimators and
 /// the bias-filter predictor to count consecutive events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CappedCounter {
     value: u32,
     cap: u32,

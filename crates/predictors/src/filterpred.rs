@@ -12,18 +12,17 @@ use crate::counter::CappedCounter;
 use crate::gshare::GsharePredictor;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-branch filter state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FilterEntry {
     last_direction: Outcome,
     run: CappedCounter,
 }
 
 /// The filter predictor: a dynamic bias filter in front of a gshare backend.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterPredictor {
     threshold: u32,
     entries: BTreeMap<BranchAddr, FilterEntry>,

@@ -5,14 +5,13 @@ use crate::history::GlobalHistory;
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// The gshare predictor.
 ///
 /// The XOR of the global history with address bits spreads different
 /// (branch, history) pairs across the table, reducing — but not eliminating —
 /// the interference the paper's Section 2 discusses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GsharePredictor {
     history: GlobalHistory,
     pht: PatternHistoryTable,

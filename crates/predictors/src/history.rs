@@ -2,13 +2,12 @@
 //! history table (BHT).
 
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// A shift register holding the directions of the most recent branches.
 ///
 /// Bit 0 is the most recent outcome; older outcomes occupy higher bits. With a
 /// history length of zero the register always reads as pattern `0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistoryRegister {
     bits: u32,
     value: u64,
@@ -75,7 +74,7 @@ pub type GlobalHistory = HistoryRegister;
 /// pattern word, so the table occupies 8 bytes per entry — the PAs first
 /// level is hot enough for its cache footprint to show up in end-to-end
 /// simulation throughput.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchHistoryTable {
     index_bits: u32,
     history_bits: u32,

@@ -2,7 +2,6 @@
 
 use crate::counter::SaturatingCounter;
 use btr_trace::Outcome;
-use serde::{Deserialize, Serialize};
 
 /// A direct-mapped table of saturating counters indexed by a pattern/address
 /// hash computed by the enclosing predictor.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's GAs configuration uses a PHT of `2^17` 2-bit counters (32 KB);
 /// PAs uses `2^16` 2-bit counters (16 KB) with the rest of the budget spent on
 /// the per-address history table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternHistoryTable {
     index_bits: u32,
     counters: Vec<SaturatingCounter>,

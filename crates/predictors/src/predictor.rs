@@ -1,7 +1,7 @@
 //! The common interface every branch predictor implements.
 
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// A dynamic branch predictor driven by a trace of conditional branches.
 ///
@@ -70,7 +70,7 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 }
 
 /// Running hit/miss statistics for a predictor under simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictionStats {
     /// Number of predictions made.
     pub lookups: u64,
@@ -119,6 +119,29 @@ impl PredictionStats {
     }
 }
 
+impl Wire for PredictionStats {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("lookups", self.lookups)
+            .field("hits", self.hits)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let stats = PredictionStats {
+            lookups: value.get("lookups")?.as_u64()?,
+            hits: value.get("hits")?.as_u64()?,
+        };
+        if stats.hits > stats.lookups {
+            return Err(WireError::schema(format!(
+                "prediction stats with {} hits out of {} lookups",
+                stats.hits, stats.lookups
+            )));
+        }
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +182,24 @@ mod tests {
         s.merge(&other);
         assert_eq!(s.lookups, 5);
         assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn prediction_stats_roundtrip_and_validate_on_decode() {
+        let stats = PredictionStats {
+            lookups: u64::MAX,
+            hits: u64::MAX - 3,
+        };
+        assert_eq!(
+            PredictionStats::from_json(&stats.to_json().unwrap()).unwrap(),
+            stats
+        );
+        assert_eq!(PredictionStats::from_btrw(&stats.to_btrw()).unwrap(), stats);
+        // More hits than lookups is rejected rather than trusted.
+        let bad = MapBuilder::new()
+            .field("lookups", 2u64)
+            .field("hits", 3u64)
+            .build();
+        assert!(PredictionStats::from_value(&bad).is_err());
     }
 }

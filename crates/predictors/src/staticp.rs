@@ -7,11 +7,10 @@
 
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The decision rule of a [`StaticPredictor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StaticRule {
     /// Predict every branch taken.
     AlwaysTaken,
@@ -23,7 +22,7 @@ pub enum StaticRule {
 }
 
 /// A stateless predictor applying a fixed rule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticPredictor {
     rule: StaticRule,
     /// Branches known (e.g. from profiling) to be backward, for the BTFN rule.
@@ -99,7 +98,7 @@ impl BranchPredictor for StaticPredictor {
 /// A profile-guided static predictor: each branch is pinned to the direction
 /// it took most often in a profiling run (Chang et al.'s per-branch static
 /// assignment for strongly biased classes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfiledStaticPredictor {
     directions: BTreeMap<BranchAddr, Outcome>,
     fallback: Outcome,

@@ -22,10 +22,9 @@ use crate::history::{BranchHistoryTable, GlobalHistory};
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// The four classical members of the two-level family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TwoLevelScheme {
     /// Global history, set-indexed (per-set / per-address bits) PHT.
     GAs,
@@ -55,7 +54,7 @@ impl TwoLevelScheme {
 }
 
 /// Full configuration of a [`TwoLevelPredictor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwoLevelConfig {
     /// Which scheme to build.
     pub scheme: TwoLevelScheme,
@@ -169,7 +168,7 @@ fn paper_bht_index_bits(k: u32) -> u32 {
 }
 
 /// A configurable two-level adaptive predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoLevelPredictor {
     config: TwoLevelConfig,
     global_history: GlobalHistory,

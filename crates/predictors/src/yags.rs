@@ -11,10 +11,9 @@ use crate::history::GlobalHistory;
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use btr_trace::{BranchAddr, Outcome};
-use serde::{Deserialize, Serialize};
 
 /// One entry of a YAGS exception cache: a partial tag plus a 2-bit counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct CacheEntry {
     tag: u16,
     counter: SaturatingCounter,
@@ -22,7 +21,7 @@ struct CacheEntry {
 }
 
 /// A direct-mapped, partially tagged exception cache.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct ExceptionCache {
     index_bits: u32,
     tag_bits: u32,
@@ -75,7 +74,7 @@ impl ExceptionCache {
 }
 
 /// The YAGS predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YagsPredictor {
     history: GlobalHistory,
     choice: PatternHistoryTable,

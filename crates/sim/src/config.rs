@@ -7,11 +7,11 @@ use btr_predictors::gshare::GsharePredictor;
 use btr_predictors::predictor::BranchPredictor;
 use btr_predictors::staticp::StaticPredictor;
 use btr_predictors::twolevel::TwoLevelPredictor;
-use serde::{Deserialize, Serialize};
+use btr_wire::{Value, Wire, WireError};
 
 /// The two predictor families the paper sweeps (plus baselines used by the
 /// ablation experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictorFamily {
     /// Per-address history two-level predictors (the paper's PAs).
     PAs,
@@ -46,8 +46,25 @@ impl PredictorFamily {
     }
 }
 
+/// [`PredictorFamily`] encodes as its label (`"PAs"` / `"GAs"`).
+impl Wire for PredictorFamily {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        match value.as_str()? {
+            "PAs" => Ok(PredictorFamily::PAs),
+            "GAs" => Ok(PredictorFamily::GAs),
+            other => Err(WireError::schema(format!(
+                "unknown predictor family {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A buildable predictor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PredictorKind {
     /// The paper's PAs configuration at a given history length.
     PAsPaper {
@@ -134,7 +151,7 @@ impl PredictorKind {
 ///   history registers and counters re-converge within tens of records, so
 ///   divergence is confined to long-range aliasing effects and shrinks as `k`
 ///   grows (pinned by `tests/streamed_equivalence.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WarmupWindow {
     /// Replay the entire prefix: exact, bit-identical results.
     FullPrefix,
@@ -154,7 +171,7 @@ impl WarmupWindow {
 }
 
 /// Configuration for splitting one trace into windows simulated in parallel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WindowConfig {
     /// Conditional records scored per window (the last window may be
     /// shorter).
@@ -195,7 +212,7 @@ impl WindowConfig {
 }
 
 /// Top-level simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// The predictor to simulate.
     pub predictor: PredictorKind,

@@ -30,11 +30,11 @@
 //!   work-stealing pool this way.
 
 use crate::config::WarmupWindow;
-use btr_core::analysis::{BranchMissMap, DenseMissTable};
+use btr_core::analysis::{miss_map_from_value, miss_map_to_value, BranchMissMap, DenseMissTable};
 use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
 use btr_trace::{BranchAddr, InternedTrace, Trace, TraceChunk};
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// Folds a dense per-id statistics table into a [`RunResult`], computing the
 /// overall statistics as the table's column sums (exact, since every scored
@@ -53,7 +53,7 @@ pub(crate) fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> 
 }
 
 /// The result of running one predictor over one trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// Aggregate hit/miss statistics over the whole trace.
     pub overall: PredictionStats,
@@ -75,6 +75,40 @@ impl RunResult {
         for (addr, stats) in &other.per_branch {
             self.per_branch.entry(*addr).or_default().merge(stats);
         }
+    }
+}
+
+/// [`RunResult`] encodes its overall statistics plus the per-branch miss map
+/// in columnar form, so persisted partials can be re-merged exactly.
+impl Wire for RunResult {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("overall", self.overall.to_value())
+            .field("per_branch", miss_map_to_value(&self.per_branch))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let result = RunResult {
+            overall: PredictionStats::from_value(value.get("overall")?)?,
+            per_branch: miss_map_from_value(value.get("per_branch")?)?,
+        };
+        // `overall` is derivable: every engine path computes it as the
+        // per-branch column sums (see `result_from_dense`), so decode
+        // re-validates rather than trusts — a tampered partial whose suite
+        // statistics disagree with its per-branch data must not merge.
+        let mut expected = PredictionStats::new();
+        for stats in result.per_branch.values() {
+            expected.merge(stats);
+        }
+        if expected != result.overall {
+            return Err(WireError::schema(format!(
+                "overall statistics ({}/{} hits/lookups) do not match the \
+                 per-branch sums ({}/{})",
+                result.overall.hits, result.overall.lookups, expected.hits, expected.lookups
+            )));
+        }
+        Ok(result)
     }
 }
 

@@ -27,10 +27,9 @@ use btr_predictors::predictor::BranchPredictor;
 use btr_predictors::twolevel::TwoLevelPredictor;
 use btr_trace::Trace;
 use btr_workloads::spec::{Benchmark, SuiteConfig};
-use serde::{Deserialize, Serialize};
 
 /// Configuration shared by every experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentContext {
     /// Workload generation configuration.
     pub suite: SuiteConfig,

@@ -4,16 +4,18 @@
 
 use crate::config::PredictorFamily;
 use crate::engine::{RunResult, SimEngine};
-use btr_core::analysis::{BranchMissMap, ClassHistoryMatrix, ClassMissRates, JointMissMatrix};
+use btr_core::analysis::{
+    miss_map_to_value, BranchMissMap, ClassHistoryMatrix, ClassMissRates, JointMissMatrix,
+};
 use btr_core::class::BinningScheme;
 use btr_core::distribution::Metric;
 use btr_core::profile::ProgramProfile;
 use btr_trace::Trace;
-use serde::{Deserialize, Serialize};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// The outcome of sweeping one predictor family over a set of history
 /// lengths for one or more traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     family: PredictorFamily,
     /// Per-history aggregated per-branch statistics.
@@ -99,10 +101,88 @@ impl SweepResult {
     ) -> JointMissMatrix {
         JointMissMatrix::from_history_runs(profile, scheme, &self.runs)
     }
+
+    /// Merges another sweep's statistics into this one, history by history.
+    ///
+    /// This is how persisted sweep *partials* recombine: shard a benchmark
+    /// suite across workers, run the same sweep on each shard, persist each
+    /// [`SweepResult`] over the wire, then merge the decoded partials.
+    /// Prediction statistics are plain counters, so the merged result is
+    /// bit-identical to a single sweep over the union of the shards —
+    /// whatever the sharding (pinned by `tests/sweep_wire_partials.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweeps disagree on predictor family or history
+    /// lengths — partials of different experiments must not be mixed.
+    pub fn merge(&mut self, other: &SweepResult) {
+        assert_eq!(
+            self.family, other.family,
+            "cannot merge sweeps of different predictor families"
+        );
+        assert_eq!(
+            self.history_lengths(),
+            other.history_lengths(),
+            "cannot merge sweeps over different history lengths"
+        );
+        for ((_, mine), (_, theirs)) in self.overall.iter_mut().zip(&other.overall) {
+            mine.merge(theirs);
+        }
+        for ((_, mine), (_, theirs)) in self.runs.iter_mut().zip(&other.runs) {
+            for (addr, stats) in theirs {
+                mine.entry(*addr).or_default().merge(stats);
+            }
+        }
+    }
+}
+
+/// [`SweepResult`] encodes its family plus, per history length, the overall
+/// statistics and the columnar per-branch miss map — everything needed to
+/// persist a sweep partial and re-merge it exactly.
+impl Wire for SweepResult {
+    fn to_value(&self) -> Value {
+        let runs = self
+            .overall
+            .iter()
+            .zip(&self.runs)
+            .map(|((history, result), (_, per_branch))| {
+                MapBuilder::new()
+                    .field("history", *history)
+                    .field("overall", result.overall.to_value())
+                    .field("per_branch", miss_map_to_value(per_branch))
+                    .build()
+            })
+            .collect::<Vec<Value>>();
+        MapBuilder::new()
+            .field("family", self.family.to_value())
+            .field("runs", Value::List(runs))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let family = PredictorFamily::from_value(value.get("family")?)?;
+        let mut runs = Vec::new();
+        let mut overall = Vec::new();
+        for entry in value.get("runs")?.as_list()? {
+            let history = u32::try_from(entry.get("history")?.as_u64()?)
+                .map_err(|_| WireError::schema("history length exceeds u32"))?;
+            // Each entry is a RunResult envelope plus the history field;
+            // decoding through RunResult re-validates that the overall
+            // statistics equal the per-branch sums.
+            let result = RunResult::from_value(entry)?;
+            runs.push((history, result.per_branch.clone()));
+            overall.push((history, result));
+        }
+        Ok(SweepResult {
+            family,
+            runs,
+            overall,
+        })
+    }
 }
 
 /// Sweeps a predictor family over a set of history lengths.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistorySweep {
     family: PredictorFamily,
     histories: Vec<u32>,
@@ -310,6 +390,78 @@ mod tests {
             HistorySweep::coarse(PredictorFamily::GAs).family(),
             PredictorFamily::GAs
         );
+    }
+
+    #[test]
+    fn sweep_results_roundtrip_on_the_wire() {
+        let trace = mixed_trace();
+        // Unsorted history order must survive the round-trip verbatim.
+        let sweep = HistorySweep::new(PredictorFamily::GAs, vec![4, 0, 2]);
+        let result = sweep.run(&[&trace]);
+        let via_json = SweepResult::from_json(&result.to_json().unwrap()).unwrap();
+        assert_eq!(via_json, result);
+        assert_eq!(via_json.history_lengths(), vec![4, 0, 2]);
+        assert_eq!(SweepResult::from_btrw(&result.to_btrw()).unwrap(), result);
+    }
+
+    #[test]
+    fn tampered_overall_statistics_are_rejected_on_decode() {
+        let trace = mixed_trace();
+        let result = HistorySweep::new(PredictorFamily::PAs, vec![0]).run(&[&trace]);
+        let mut v = result.to_value();
+        // Corrupt the overall lookup count of the first run.
+        let Value::Map(entries) = &mut v else {
+            panic!("sweep encodes as a map")
+        };
+        for (key, field) in entries.iter_mut() {
+            if key == "runs" {
+                let Value::List(runs) = field else {
+                    panic!("runs is a list")
+                };
+                let Value::Map(run) = &mut runs[0] else {
+                    panic!("run is a map")
+                };
+                for (k, f) in run.iter_mut() {
+                    if k == "overall" {
+                        *f = MapBuilder::new()
+                            .field("lookups", 1u64)
+                            .field("hits", 0u64)
+                            .build();
+                    }
+                }
+            }
+        }
+        let err = SweepResult::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("per-branch sums"), "{err}");
+    }
+
+    #[test]
+    fn merging_sweep_partials_matches_a_joint_sweep() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 2]);
+        let mut partial = sweep.run(&[&trace]);
+        let other = sweep.run(&[&trace, &trace]);
+        let joint = sweep.run(&[&trace, &trace, &trace]);
+        partial.merge(&other);
+        assert_eq!(partial, joint);
+    }
+
+    #[test]
+    #[should_panic(expected = "different predictor families")]
+    fn merging_mismatched_families_rejected() {
+        let trace = mixed_trace();
+        let mut pas = HistorySweep::new(PredictorFamily::PAs, vec![0]).run(&[&trace]);
+        let gas = HistorySweep::new(PredictorFamily::GAs, vec![0]).run(&[&trace]);
+        pas.merge(&gas);
+    }
+
+    #[test]
+    #[should_panic(expected = "different history lengths")]
+    fn merging_mismatched_histories_rejected() {
+        let trace = mixed_trace();
+        let mut a = HistorySweep::new(PredictorFamily::PAs, vec![0]).run(&[&trace]);
+        let b = HistorySweep::new(PredictorFamily::PAs, vec![2]).run(&[&trace]);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Property-based wire round-trips for the simulation result types:
+//! arbitrary `RunResult`s and `SweepResult`s must survive value → JSON →
+//! value and value → BTRW → value exactly, with byte-stable re-encodes.
+
+use btr_core::analysis::BranchMissMap;
+use btr_predictors::predictor::PredictionStats;
+use btr_sim::config::PredictorFamily;
+use btr_sim::engine::RunResult;
+use btr_sim::sweep::SweepResult;
+use btr_trace::BranchAddr;
+use btr_wire::Wire;
+use proptest::prelude::*;
+use std::fmt::Debug;
+
+fn assert_wire_roundtrip<T: Wire + PartialEq + Debug>(v: &T) {
+    let json = v.to_json().unwrap();
+    let via_json = T::from_json(&json).unwrap();
+    assert_eq!(&via_json, v, "JSON round-trip of {json}");
+    assert_eq!(via_json.to_json().unwrap(), json, "JSON byte-stability");
+    let bytes = v.to_btrw();
+    let via_btrw = T::from_btrw(&bytes).unwrap();
+    assert_eq!(&via_btrw, v, "BTRW round-trip");
+    assert_eq!(via_btrw.to_btrw(), bytes, "BTRW byte-stability");
+}
+
+fn arb_miss_map() -> impl Strategy<Value = BranchMissMap> {
+    proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..30).prop_map(
+        |entries| {
+            entries
+                .into_iter()
+                .map(|(addr, lookups, h)| {
+                    let lookups = lookups % 1_000_000;
+                    let hits = if lookups == 0 { 0 } else { h % (lookups + 1) };
+                    (BranchAddr::new(addr), PredictionStats { lookups, hits })
+                })
+                .collect()
+        },
+    )
+}
+
+fn arb_run_result() -> impl Strategy<Value = RunResult> {
+    arb_miss_map().prop_map(|per_branch| {
+        // Overall statistics are the per-branch sums, as every engine path
+        // produces them.
+        let mut overall = PredictionStats::new();
+        for stats in per_branch.values() {
+            overall.merge(stats);
+        }
+        RunResult {
+            overall,
+            per_branch,
+        }
+    })
+}
+
+fn arb_family() -> impl Strategy<Value = PredictorFamily> {
+    prop_oneof![Just(PredictorFamily::PAs), Just(PredictorFamily::GAs)]
+}
+
+proptest! {
+    #[test]
+    fn run_results_and_families_roundtrip(result in arb_run_result(), family in arb_family()) {
+        assert_wire_roundtrip(&result);
+        assert_wire_roundtrip(&family);
+    }
+
+    #[test]
+    fn sweep_results_roundtrip(
+        family in arb_family(),
+        parts in proptest::collection::vec((0u32..32, arb_run_result()), 1..5),
+    ) {
+        // Distinct history lengths, as every real sweep has.
+        let mut seen = std::collections::BTreeSet::new();
+        let parts: Vec<(u32, RunResult)> = parts
+            .into_iter()
+            .filter(|(h, _)| seen.insert(*h))
+            .collect();
+        let sweep = SweepResult::from_parts(family, parts);
+        assert_wire_roundtrip(&sweep);
+    }
+}

@@ -21,7 +21,7 @@ pub enum TraceError {
     /// The stream ended in the middle of a record or header.
     UnexpectedEof {
         /// Human-readable description of what was being decoded.
-        context: &'static str,
+        context: String,
     },
     /// The stream ended in the middle of a record body: the header promised
     /// more records than the bytes that follow can supply.
@@ -37,7 +37,7 @@ pub enum TraceError {
         /// Byte offset from the start of the stream reached by the decoder.
         offset: u64,
         /// Which field of the record was being decoded.
-        context: &'static str,
+        context: String,
     },
     /// A text-format line could not be parsed.
     MalformedLine {
@@ -121,12 +121,17 @@ mod tests {
         let cases: Vec<(TraceError, &str)> = vec![
             (TraceError::BadMagic { found: *b"XXXX" }, "bad trace magic"),
             (TraceError::UnsupportedVersion { found: 99 }, "version 99"),
-            (TraceError::UnexpectedEof { context: "header" }, "header"),
+            (
+                TraceError::UnexpectedEof {
+                    context: "header".into(),
+                },
+                "header",
+            ),
             (
                 TraceError::TruncatedRecord {
                     record: 3,
                     offset: 41,
-                    context: "address delta",
+                    context: "address delta".into(),
                 },
                 "byte offset 41",
             ),

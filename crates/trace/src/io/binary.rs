@@ -49,46 +49,30 @@ fn kind_from_code(code: u8) -> Option<BranchKind> {
     })
 }
 
-fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
+// LEB128/zig-zag primitives are shared with the `BTRW` wire format — one
+// canonical-varint implementation for the whole workspace (overflow and
+// non-minimal encodings rejected there), with errors mapped to trace terms
+// at this boundary.
+use btr_wire::varint::{zigzag_decode, zigzag_encode};
 
-fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            w.write_all(&[byte])?;
-            return Ok(());
-        }
-        w.write_all(&[byte | 0x80])?;
-    }
+fn write_varint<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    btr_wire::varint::write_varint(w, v).map_err(varint_error)
 }
 
 fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        let n = r.read(&mut byte)?;
-        if n == 0 {
-            return Err(TraceError::UnexpectedEof { context });
-        }
-        value |= u64::from(byte[0] & 0x7f) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(value);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return Err(TraceError::MalformedLine {
-                line: 0,
-                reason: "varint longer than 64 bits".into(),
-            });
-        }
+    btr_wire::varint::read_varint(r, context).map_err(varint_error)
+}
+
+fn varint_error(e: btr_wire::WireError) -> TraceError {
+    match e {
+        btr_wire::WireError::Io(e) => TraceError::Io(e),
+        btr_wire::WireError::UnexpectedEof { context } => TraceError::UnexpectedEof {
+            context: context.into(),
+        },
+        other => TraceError::MalformedLine {
+            line: 0,
+            reason: other.to_string(),
+        },
     }
 }
 
@@ -111,7 +95,9 @@ fn read_exact<R: Read, const N: usize>(r: &mut R, context: &'static str) -> Resu
     let mut buf = [0u8; N];
     r.read_exact(&mut buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TraceError::UnexpectedEof { context }
+            TraceError::UnexpectedEof {
+                context: context.into(),
+            }
         } else {
             TraceError::Io(e)
         }
@@ -465,7 +451,7 @@ mod tests {
         buf.truncate(10);
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
         assert!(
-            matches!(err, TraceError::UnexpectedEof { context } if context == "record count"),
+            matches!(&err, TraceError::UnexpectedEof { context } if context == "record count"),
             "got {err:?}"
         );
     }

@@ -39,6 +39,7 @@ pub mod io;
 pub mod record;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 pub use error::TraceError;
 pub use filter::{ConditionalOnly, Sampled, Windowed};

@@ -1,6 +1,5 @@
 //! Primitive types describing a single dynamic branch execution.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The (virtual) address of a static branch instruction.
@@ -15,7 +14,7 @@ use std::fmt;
 /// let a = BranchAddr::new(0x40);
 /// assert_eq!(a.low_bits(8), 0x10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BranchAddr(u64);
 
 impl BranchAddr {
@@ -65,7 +64,7 @@ impl From<u64> for BranchAddr {
 }
 
 /// The resolved direction of a branch execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// The branch was not taken (fell through).
     NotTaken,
@@ -130,7 +129,7 @@ impl From<bool> for Outcome {
 /// unconditional jumps, calls and returns; keeping them in the data model lets
 /// the filtering adapters reproduce the "only conditional branches were
 /// measured" rule of the paper explicitly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchKind {
     /// A conditional direct branch.
     Conditional,
@@ -204,7 +203,7 @@ impl fmt::Display for BranchKind {
 /// assert!(r.kind().is_conditional());
 /// assert!(r.outcome().is_taken());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     addr: BranchAddr,
     kind: BranchKind,

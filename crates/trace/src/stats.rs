@@ -12,16 +12,14 @@
 //! `transitions <= executions - 1` always holds for an executed branch.
 
 use crate::record::{BranchAddr, BranchRecord, Outcome};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Raw outcome counts for a single static (per-address) conditional branch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AddrStats {
     executions: u64,
     taken: u64,
     transitions: u64,
-    #[serde(skip)]
     last_outcome: Option<Outcome>,
 }
 
@@ -116,7 +114,7 @@ impl AddrStats {
 /// Only conditional branches contribute to the per-address table; other
 /// control-transfer kinds are tallied in aggregate so that tools can report
 /// trace composition.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     per_addr: BTreeMap<BranchAddr, AddrStats>,
     total_conditional: u64,

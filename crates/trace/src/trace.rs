@@ -2,7 +2,6 @@
 
 use crate::record::{BranchKind, BranchRecord};
 use crate::stats::TraceStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Descriptive metadata attached to a trace.
@@ -10,7 +9,7 @@ use std::fmt;
 /// Mirrors the columns of the paper's Table 1: the benchmark name and the
 /// input set the trace corresponds to, plus a free-form description and the
 /// generator seed when the trace is synthetic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceMetadata {
     /// Benchmark name (e.g. `"gcc"`).
     pub benchmark: String,
@@ -63,7 +62,7 @@ impl TraceMetadata {
 /// simulation consumes — is available as a contiguous slice
 /// ([`Trace::conditional_records`]), so a 17-point history sweep filters the
 /// record kinds once instead of once per sweep point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     metadata: TraceMetadata,
     records: Vec<BranchRecord>,
@@ -72,11 +71,9 @@ pub struct Trace {
     /// workload) borrow `records` directly so memory never doubles at
     /// paper scale. Invariant: empty iff `stats.total_other() == 0`.
     ///
-    /// Derived data, excluded from serialization: when the vendored serde is
-    /// swapped for the real crate, deserialization must recompute this via
-    /// [`conditional_subset`] (e.g. route `Deserialize` through
-    /// [`Trace::from_records`]) rather than trust wire data.
-    #[serde(skip)]
+    /// Derived data, excluded from serialization: any future wire decoding
+    /// must recompute this via [`conditional_subset`] (e.g. route decoding
+    /// through [`Trace::from_records`]) rather than trust wire data.
     conditional: Vec<BranchRecord>,
     stats: TraceStats,
 }

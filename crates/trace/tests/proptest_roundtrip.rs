@@ -3,8 +3,10 @@
 
 use btr_trace::io::{binary, text};
 use btr_trace::{
-    AddrStats, BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder, TraceMetadata,
+    AddrStats, BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder, TraceError,
+    TraceMetadata,
 };
+use btr_wire::Wire;
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = BranchKind> {
@@ -106,6 +108,70 @@ proptest! {
         );
         let per_addr_sum: u64 = stats.iter().map(|(_, s)| s.executions()).sum();
         prop_assert_eq!(per_addr_sum, conditional);
+    }
+
+    #[test]
+    fn metadata_wire_roundtrip_is_identity(
+        seed in proptest::option::of(any::<u64>()),
+        words in proptest::collection::vec(any::<u64>(), 3),
+    ) {
+        // Printable-ASCII names of varying lengths derived from the words.
+        let text_of = |word: u64, label: &str| -> String {
+            (0..(word % 12))
+                .map(|i| char::from(b' ' + ((word >> (i % 8)) % 95) as u8))
+                .chain(label.chars())
+                .collect()
+        };
+        let meta = TraceMetadata {
+            benchmark: text_of(words[0], "bench"),
+            input_set: text_of(words[1], "input"),
+            description: text_of(words[2], "desc"),
+            seed,
+        };
+        let via_json = TraceMetadata::from_json(&meta.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&via_json, &meta);
+        let via_btrw = TraceMetadata::from_btrw(&meta.to_btrw()).unwrap();
+        prop_assert_eq!(&via_btrw, &meta);
+    }
+
+    #[test]
+    fn error_wire_roundtrip_preserves_every_field(
+        selector in 0u8..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let err = match selector {
+            0 => TraceError::BadMagic {
+                found: (a as u32).to_le_bytes(),
+            },
+            1 => TraceError::UnsupportedVersion { found: a as u32 },
+            2 => TraceError::UnexpectedEof {
+                context: format!("field-{b}"),
+            },
+            3 => TraceError::TruncatedRecord {
+                record: a,
+                offset: b,
+                context: "address delta".into(),
+            },
+            4 => TraceError::MalformedLine {
+                line: (a % 1_000_000) as usize,
+                reason: format!("reason-{b}"),
+            },
+            5 => TraceError::UnknownKind {
+                code: char::from(b' ' + (a % 95) as u8),
+            },
+            _ => TraceError::CountMismatch {
+                declared: a,
+                actual: b,
+            },
+        };
+        // TraceError cannot derive PartialEq (its Io variant wraps a live
+        // io::Error), so the non-Io variants compare via their Debug views,
+        // which expose every field.
+        let via_json = TraceError::from_json(&err.to_json().unwrap()).unwrap();
+        prop_assert_eq!(format!("{via_json:?}"), format!("{err:?}"));
+        let via_btrw = TraceError::from_btrw(&err.to_btrw()).unwrap();
+        prop_assert_eq!(format!("{via_btrw:?}"), format!("{err:?}"));
     }
 
     #[test]

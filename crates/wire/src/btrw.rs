@@ -1,0 +1,413 @@
+//! The `BTRW` compact binary codec.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    : 4 bytes = "BTRW"
+//! version  : u32 LE  = 1
+//! root     : one value
+//! ```
+//!
+//! Each value is one tag byte followed by its payload:
+//!
+//! | tag | kind        | payload                                              |
+//! |-----|-------------|------------------------------------------------------|
+//! | 0   | null        | —                                                    |
+//! | 1   | false       | —                                                    |
+//! | 2   | true        | —                                                    |
+//! | 3   | u64         | varint                                               |
+//! | 4   | i64         | zig-zag varint                                       |
+//! | 5   | f64         | 8 bytes, IEEE 754 bits, little-endian                |
+//! | 6   | string      | varint byte length + UTF-8 bytes                     |
+//! | 7   | list        | varint count + that many values                      |
+//! | 8   | map         | varint count + (string payload, value) per entry     |
+//! | 9   | u64 seq     | varint count + zig-zag varint deltas (see below)     |
+//!
+//! Varints and zig-zag follow the `BTRT` trace conventions (LEB128, minimal
+//! length; see `varint.rs`). A u64 sequence is delta-encoded: each element
+//! is written as the zig-zag of its wrapping signed difference from the
+//! previous element (the first element diffs against 0), so sorted columns —
+//! branch addresses, cumulative counters — cost a byte or two per entry.
+//! Floats are raw IEEE bits, so every value including NaNs, infinities and
+//! signed zeros round-trips bit-exactly.
+//!
+//! The encoding is canonical: one byte sequence per value tree, making
+//! golden-fixture byte comparisons meaningful.
+
+use crate::error::WireError;
+use crate::value::Value;
+use crate::varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every `BTRW` stream.
+pub const MAGIC: [u8; 4] = *b"BTRW";
+/// The format version this build writes and accepts.
+pub const VERSION: u32 = 1;
+/// Maximum nesting depth the reader accepts, guarding against stack
+/// exhaustion on adversarial input.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_I64: u8 = 4;
+const TAG_F64: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_MAP: u8 = 8;
+const TAG_U64S: u8 = 9;
+
+/// Writes the `BTRW` header and one value.
+///
+/// # Errors
+///
+/// Fails only if the underlying writer fails.
+pub fn write<W: Write>(w: &mut W, value: &Value) -> Result<(), WireError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_value(w, value)
+}
+
+/// Encodes a value to a fresh byte vector (header included).
+pub fn to_bytes(value: &Value) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write(&mut buf, value).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn write_value<W: Write>(w: &mut W, value: &Value) -> Result<(), WireError> {
+    match value {
+        Value::Null => w.write_all(&[TAG_NULL])?,
+        Value::Bool(false) => w.write_all(&[TAG_FALSE])?,
+        Value::Bool(true) => w.write_all(&[TAG_TRUE])?,
+        Value::U64(v) => {
+            w.write_all(&[TAG_U64])?;
+            write_varint(w, *v)?;
+        }
+        Value::I64(v) => {
+            w.write_all(&[TAG_I64])?;
+            write_varint(w, zigzag_encode(*v))?;
+        }
+        Value::F64(v) => {
+            w.write_all(&[TAG_F64])?;
+            w.write_all(&v.to_bits().to_le_bytes())?;
+        }
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR])?;
+            write_str(w, s)?;
+        }
+        Value::List(items) => {
+            w.write_all(&[TAG_LIST])?;
+            write_varint(w, items.len() as u64)?;
+            for item in items {
+                write_value(w, item)?;
+            }
+        }
+        Value::Map(entries) => {
+            w.write_all(&[TAG_MAP])?;
+            write_varint(w, entries.len() as u64)?;
+            for (key, field) in entries {
+                write_str(w, key)?;
+                write_value(w, field)?;
+            }
+        }
+        Value::U64s(items) => {
+            w.write_all(&[TAG_U64S])?;
+            write_varint(w, items.len() as u64)?;
+            let mut prev = 0u64;
+            for &item in items {
+                let delta = item.wrapping_sub(prev) as i64;
+                write_varint(w, zigzag_encode(delta))?;
+                prev = item;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), WireError> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Reads the `BTRW` header and one value.
+///
+/// # Errors
+///
+/// Fails on bad magic bytes, an unsupported version, truncation, invalid
+/// UTF-8 in a string payload, unknown tags, or nesting deeper than
+/// [`MAX_DEPTH`].
+pub fn read<R: Read>(r: &mut R) -> Result<Value, WireError> {
+    let magic = read_array::<R, 4>(r, "magic")?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(read_array(r, "version")?);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    read_value(r, 0)
+}
+
+/// Decodes a value from an in-memory buffer, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Fails on anything [`read`] rejects, plus bytes after the root value.
+pub fn from_bytes(bytes: &[u8]) -> Result<Value, WireError> {
+    let mut cursor = bytes;
+    let value = read(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(WireError::schema(format!(
+            "{} trailing bytes after the BTRW value",
+            cursor.len()
+        )));
+    }
+    Ok(value)
+}
+
+fn read_array<R: Read, const N: usize>(
+    r: &mut R,
+    context: &'static str,
+) -> Result<[u8; N], WireError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::UnexpectedEof { context }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+fn read_value<R: Read>(r: &mut R, depth: usize) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::schema(format!(
+            "BTRW nesting deeper than {MAX_DEPTH}"
+        )));
+    }
+    let tag = read_array::<R, 1>(r, "value tag")?[0];
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_U64 => Value::U64(read_varint(r, "u64 value")?),
+        TAG_I64 => Value::I64(zigzag_decode(read_varint(r, "i64 value")?)),
+        TAG_F64 => Value::F64(f64::from_bits(u64::from_le_bytes(read_array(
+            r, "f64 bits",
+        )?))),
+        TAG_STR => Value::Str(read_str(r)?),
+        TAG_LIST => {
+            let count = read_varint(r, "list count")?;
+            let mut items = Vec::with_capacity(clamp_prealloc(count));
+            for _ in 0..count {
+                items.push(read_value(r, depth + 1)?);
+            }
+            Value::List(items)
+        }
+        TAG_MAP => {
+            let count = read_varint(r, "map count")?;
+            let mut entries = Vec::with_capacity(clamp_prealloc(count));
+            for _ in 0..count {
+                let key = read_str(r)?;
+                let field = read_value(r, depth + 1)?;
+                entries.push((key, field));
+            }
+            Value::Map(entries)
+        }
+        TAG_U64S => {
+            let count = read_varint(r, "u64 sequence count")?;
+            let mut items = Vec::with_capacity(clamp_prealloc(count));
+            let mut prev = 0u64;
+            for _ in 0..count {
+                let delta = zigzag_decode(read_varint(r, "u64 sequence delta")?);
+                prev = prev.wrapping_add(delta as u64);
+                items.push(prev);
+            }
+            Value::U64s(items)
+        }
+        other => {
+            return Err(WireError::schema(format!("unknown BTRW value tag {other}")));
+        }
+    })
+}
+
+/// Caps pre-allocation from untrusted declared counts: a corrupted count
+/// cannot force a huge allocation before decoding proves the bytes exist.
+fn clamp_prealloc(count: u64) -> usize {
+    count.min(1 << 16) as usize
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, WireError> {
+    let len = read_varint(r, "string length")?;
+    // Read through a `take` adapter with capped pre-allocation so a
+    // corrupted length fails on truncation instead of aborting on an
+    // oversized allocation.
+    let mut buf = Vec::with_capacity(clamp_prealloc(len));
+    r.take(len).read_to_end(&mut buf).map_err(WireError::Io)?;
+    if (buf.len() as u64) != len {
+        return Err(WireError::UnexpectedEof {
+            context: "string bytes",
+        });
+    }
+    String::from_utf8(buf).map_err(|_| WireError::schema("string payload is not valid UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::MapBuilder;
+
+    fn roundtrip(v: &Value) -> Value {
+        from_bytes(&to_bytes(v)).unwrap()
+    }
+
+    #[test]
+    fn every_variant_roundtrips_exactly() {
+        let kitchen_sink = MapBuilder::new()
+            .field("null", Value::Null)
+            .field("no", false)
+            .field("yes", true)
+            .field("u", u64::MAX)
+            .field("i", i64::MIN)
+            .field("f", 0.1f64)
+            .field("s", "héllo\0world")
+            .field(
+                "list",
+                Value::List(vec![Value::U64(1), Value::Str("x".into()), Value::Null]),
+            )
+            .field("seq", vec![u64::MAX, 0, 1, 1 << 40])
+            .field("empty_map", Value::Map(vec![]))
+            .build();
+        assert_eq!(roundtrip(&kitchen_sink), kitchen_sink);
+    }
+
+    #[test]
+    fn nonfinite_and_signed_zero_floats_are_bit_exact() {
+        for bits in [
+            f64::NAN.to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            (-0.0f64).to_bits(),
+            0x7ff8_0000_dead_beef, // a payload-carrying NaN
+        ] {
+            let v = Value::F64(f64::from_bits(bits));
+            match roundtrip(&v) {
+                Value::F64(back) => assert_eq!(back.to_bits(), bits),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_u64_sequences_encode_compactly() {
+        // 1000 sorted addresses 8 apart: deltas fit one varint byte each.
+        let addrs: Vec<u64> = (0..1000u64).map(|i| 0x0040_0000 + i * 8).collect();
+        let bytes = to_bytes(&Value::U64s(addrs.clone()));
+        assert!(bytes.len() < 1024 + 64, "encoded size {}", bytes.len());
+        assert_eq!(roundtrip(&Value::U64s(addrs.clone())), Value::U64s(addrs));
+    }
+
+    #[test]
+    fn u64_sequence_deltas_wrap_around() {
+        let v = Value::U64s(vec![u64::MAX, 1, u64::MAX - 1, 0]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert!(matches!(
+            from_bytes(b"NOPE\x01\x00\x00\x00\x00"),
+            Err(WireError::BadMagic { found }) if &found == b"NOPE"
+        ));
+        assert!(matches!(
+            from_bytes(b"BTRW\x09\x00\x00\x00\x00"),
+            Err(WireError::UnsupportedVersion { found: 9 })
+        ));
+        assert!(matches!(
+            from_bytes(b"BTRW\x01"),
+            Err(WireError::UnexpectedEof { context: "version" })
+        ));
+    }
+
+    #[test]
+    fn truncation_unknown_tags_and_trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&Value::Str("hello".into()));
+        let full = bytes.clone();
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        let mut trailing = full.clone();
+        trailing.push(0);
+        assert!(from_bytes(&trailing)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+        let mut unknown = full;
+        let tag_pos = MAGIC.len() + 4;
+        unknown[tag_pos] = 250;
+        assert!(from_bytes(&unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("tag 250"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        // Hand-build: header + TAG_STR + len 2 + invalid bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[TAG_STR, 2, 0xff, 0xfe]);
+        assert!(from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("UTF-8"));
+    }
+
+    #[test]
+    fn depth_limit_guards_recursion() {
+        // A chain of single-element lists deeper than MAX_DEPTH.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        for _ in 0..(MAX_DEPTH + 2) {
+            bytes.extend_from_slice(&[TAG_LIST, 1]);
+        }
+        bytes.push(TAG_NULL);
+        assert!(from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("nesting"));
+    }
+
+    #[test]
+    fn huge_declared_counts_do_not_preallocate() {
+        // A list declaring u64::MAX elements but containing none: the reader
+        // must fail on truncation, not abort on allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(TAG_LIST);
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // Same for a string length.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(TAG_STR);
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+}

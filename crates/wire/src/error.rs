@@ -1,0 +1,133 @@
+//! Error type shared by every codec in this crate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while encoding or decoding wire values.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying I/O error from the reader or writer.
+    Io(io::Error),
+    /// The input did not start with the expected `BTRW` magic bytes.
+    BadMagic {
+        /// The bytes actually found at the start of the stream.
+        found: [u8; 4],
+    },
+    /// The binary format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u32,
+    },
+    /// The binary stream ended in the middle of a value.
+    UnexpectedEof {
+        /// Human-readable description of what was being decoded.
+        context: &'static str,
+    },
+    /// The JSON text could not be parsed.
+    Syntax {
+        /// Byte offset into the input where parsing failed.
+        offset: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A decoded value did not have the shape a type expected: a missing
+    /// field, a kind mismatch, or a violated domain invariant.
+    Schema {
+        /// Description of the mismatch, including the offending field.
+        reason: String,
+    },
+    /// A value cannot be represented in the requested format (for example a
+    /// non-finite float in JSON, which has no literal for NaN or infinity).
+    Unrepresentable {
+        /// Description of the unrepresentable value.
+        reason: String,
+    },
+}
+
+impl WireError {
+    /// Builds a [`WireError::Schema`] error (the most common decode error).
+    pub fn schema(reason: impl Into<String>) -> Self {
+        WireError::Schema {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad wire magic bytes {found:?}, expected \"BTRW\"")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire format version {found}")
+            }
+            WireError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of wire stream while reading {context}")
+            }
+            WireError::Syntax { offset, reason } => {
+                write!(f, "json syntax error at byte {offset}: {reason}")
+            }
+            WireError::Schema { reason } => write!(f, "wire schema error: {reason}"),
+            WireError::Unrepresentable { reason } => {
+                write!(f, "unrepresentable wire value: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::Io(io::Error::other("boom")), "i/o"),
+            (WireError::BadMagic { found: *b"NOPE" }, "magic"),
+            (WireError::UnsupportedVersion { found: 9 }, "version 9"),
+            (WireError::UnexpectedEof { context: "tag" }, "tag"),
+            (
+                WireError::Syntax {
+                    offset: 3,
+                    reason: "bad".into(),
+                },
+                "byte 3",
+            ),
+            (WireError::schema("missing field"), "missing field"),
+            (
+                WireError::Unrepresentable {
+                    reason: "NaN".into(),
+                },
+                "NaN",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_a_source() {
+        let err: WireError = io::Error::new(io::ErrorKind::UnexpectedEof, "cut").into();
+        assert!(matches!(err, WireError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&WireError::schema("x")).is_none());
+    }
+}

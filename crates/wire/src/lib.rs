@@ -1,0 +1,171 @@
+//! # btr-wire
+//!
+//! Dependency-free wire formats for the BTR analysis artifacts: the profiles,
+//! joint class tables and miss matrices the paper defines, and the sweep
+//! results the simulation harness produces.
+//!
+//! Two codecs share one self-describing data model ([`Value`]):
+//!
+//! * **JSON** ([`json`]) — human-readable, self-describing text for
+//!   artifacts, post-processing and interchange with non-Rust tooling.
+//! * **`BTRW`** ([`btrw`]) — a compact versioned binary format (magic
+//!   header, tagged values, varint/zig-zag/delta integer encoding following
+//!   the `BTRT` trace conventions) for persisted sweep partials and bulk
+//!   transfer.
+//!
+//! Domain types implement the [`Wire`] trait — a `to_value` / `from_value`
+//! pair — in their own crates and inherit both codecs. Round-trips are
+//! lossless: bit-exact for integers across the full 64-bit range in both
+//! formats, IEEE-bit-exact for floats in `BTRW` and for every finite float
+//! in JSON (JSON has no literal for NaN or infinities; encoding one is a
+//! [`WireError::Unrepresentable`] error).
+//!
+//! ```
+//! use btr_wire::{json, MapBuilder, Value, Wire, WireError};
+//!
+//! // A minimal Wire implementation: lower to a Value, rebuild from one.
+//! #[derive(Debug, PartialEq)]
+//! struct Sample { name: String, count: u64 }
+//!
+//! impl Wire for Sample {
+//!     fn to_value(&self) -> Value {
+//!         MapBuilder::new()
+//!             .field("name", self.name.as_str())
+//!             .field("count", self.count)
+//!             .build()
+//!     }
+//!     fn from_value(value: &Value) -> Result<Self, WireError> {
+//!         Ok(Sample {
+//!             name: value.get("name")?.as_str()?.to_string(),
+//!             count: value.get("count")?.as_u64()?,
+//!         })
+//!     }
+//! }
+//!
+//! let sample = Sample { name: "gcc".into(), count: 42 };
+//! assert_eq!(sample.to_json().unwrap(), r#"{"name":"gcc","count":42}"#);
+//! assert_eq!(Sample::from_json(&sample.to_json().unwrap()).unwrap(), sample);
+//! assert_eq!(Sample::from_btrw(&sample.to_btrw()).unwrap(), sample);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btrw;
+mod error;
+pub mod json;
+mod value;
+pub mod varint;
+
+pub use error::WireError;
+pub use value::{MapBuilder, Value};
+
+use std::io::{Read, Write};
+
+/// A type with a stable wire representation.
+///
+/// Implementors define the lowering to and from the [`Value`] data model;
+/// the JSON and `BTRW` codec methods are provided. `from_value` must accept
+/// everything `to_value` produces (via either codec) and *validate* domain
+/// invariants, returning [`WireError::Schema`] instead of panicking on
+/// malformed input — wire bytes are untrusted.
+pub trait Wire: Sized {
+    /// Lowers this value to the wire data model.
+    fn to_value(&self) -> Value;
+
+    /// Rebuilds a value from the wire data model, validating invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Schema`] on missing fields, kind mismatches or
+    /// violated domain invariants.
+    fn from_value(value: &Value) -> Result<Self, WireError>;
+
+    /// Encodes as canonical (compact) JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on non-finite floats.
+    fn to_json(&self) -> Result<String, WireError> {
+        json::to_string(&self.to_value())
+    }
+
+    /// Encodes as two-space-indented JSON for human-facing artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on non-finite floats.
+    fn to_json_pretty(&self) -> Result<String, WireError> {
+        json::to_string_pretty(&self.to_value())
+    }
+
+    /// Decodes from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors or schema mismatches.
+    fn from_json(text: &str) -> Result<Self, WireError> {
+        Self::from_value(&json::from_str(text)?)
+    }
+
+    /// Encodes as `BTRW` bytes (header included).
+    fn to_btrw(&self) -> Vec<u8> {
+        btrw::to_bytes(&self.to_value())
+    }
+
+    /// Writes the `BTRW` encoding (header included) to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the underlying writer fails.
+    fn write_btrw<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        btrw::write(w, &self.to_value())
+    }
+
+    /// Decodes from an in-memory `BTRW` buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on header/decoding errors or schema mismatches.
+    fn from_btrw(bytes: &[u8]) -> Result<Self, WireError> {
+        Self::from_value(&btrw::from_bytes(bytes)?)
+    }
+
+    /// Decodes one `BTRW` value from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on header/decoding errors or schema mismatches.
+    fn read_btrw<R: Read>(r: &mut R) -> Result<Self, WireError> {
+        Self::from_value(&btrw::read(r)?)
+    }
+}
+
+impl Wire for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_implements_wire_for_schemaless_payloads() {
+        let v = MapBuilder::new().field("k", 1u64).build();
+        let bytes = v.to_btrw();
+        assert_eq!(Value::from_btrw(&bytes).unwrap(), v);
+        let json_text = v.to_json().unwrap();
+        assert_eq!(Value::from_json(&json_text).unwrap(), v);
+        let mut cursor = bytes.as_slice();
+        assert_eq!(Value::read_btrw(&mut cursor).unwrap(), v);
+        let mut sink = Vec::new();
+        v.write_btrw(&mut sink).unwrap();
+        assert_eq!(sink, bytes);
+    }
+}

@@ -1,0 +1,146 @@
+//! LEB128 varints and zig-zag transforms.
+//!
+//! Byte-level conventions are shared with the `BTRT` trace format
+//! (`btr-trace::io::binary` calls into this module): little-endian base-128
+//! with the continuation bit in the high bit, and zig-zag mapping for signed
+//! quantities so small-magnitude deltas stay short.
+//!
+//! The reader enforces the *canonical* encoding the writer produces: at most
+//! 64 bits of payload (a tenth byte may carry only the single top bit) and
+//! minimal length (a multi-byte encoding must not end in a zero byte). Every
+//! value therefore has exactly one accepted byte sequence, which is what
+//! lets golden fixtures and re-encode tests compare bytes.
+
+use crate::error::WireError;
+use std::io::{Read, Write};
+
+/// Maps a signed value to an unsigned one with small magnitudes first.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes `v` as a canonical LEB128 varint.
+///
+/// # Errors
+///
+/// Fails only if the underlying writer fails.
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<(), WireError> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads one canonical LEB128 varint.
+///
+/// # Errors
+///
+/// Fails on truncation, on encodings carrying more than 64 bits of payload
+/// (bits a `u64` would silently drop), and on non-minimal encodings (a
+/// multi-byte varint ending in a zero byte denotes the same value as a
+/// shorter one).
+pub fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            return Err(WireError::UnexpectedEof { context });
+        }
+        let payload = byte[0] & 0x7f;
+        // The tenth byte lands at shift 63: only the lowest payload bit fits
+        // in a u64, so anything above it would be silently discarded by the
+        // shift — reject instead of corrupting.
+        if shift == 63 && payload > 1 {
+            return Err(WireError::schema(format!(
+                "varint overflows 64 bits while reading {context}"
+            )));
+        }
+        value |= u64::from(payload) << shift;
+        if byte[0] & 0x80 == 0 {
+            if payload == 0 && shift > 0 {
+                return Err(WireError::schema(format!(
+                    "non-minimal varint (trailing zero byte) while reading {context}"
+                )));
+            }
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(WireError::schema(format!(
+                "varint longer than 64 bits while reading {context}"
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_across_widths() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 21, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice(), "test").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_orders_magnitudes() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert!(zigzag_encode(-1) < zigzag_encode(100));
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_rejected() {
+        let err = read_varint(&mut [0x80u8].as_slice(), "tail").unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { context: "tail" }));
+        let overlong = [0xffu8; 10];
+        let err = read_varint(&mut overlong.as_slice(), "big").unwrap_err();
+        assert!(err.to_string().contains("overflows 64 bits"), "{err}");
+        let way_overlong = [0x80u8; 11];
+        let err = read_varint(&mut way_overlong.as_slice(), "big").unwrap_err();
+        assert!(err.to_string().contains("longer than 64 bits"), "{err}");
+    }
+
+    #[test]
+    fn tenth_byte_payload_must_fit_the_top_bit() {
+        // u64::MAX is the canonical 10-byte maximum: nine 0xff then 0x01.
+        let mut max = Vec::new();
+        write_varint(&mut max, u64::MAX).unwrap();
+        assert_eq!(max.len(), 10);
+        assert_eq!(*max.last().unwrap(), 0x01);
+        assert_eq!(read_varint(&mut max.as_slice(), "max").unwrap(), u64::MAX);
+        // A final byte with any payload above bit 0 would drop bits 64+.
+        let mut too_big = max.clone();
+        *too_big.last_mut().unwrap() = 0x03;
+        let err = read_varint(&mut too_big.as_slice(), "wide").unwrap_err();
+        assert!(err.to_string().contains("overflows 64 bits"), "{err}");
+    }
+
+    #[test]
+    fn non_minimal_encodings_are_rejected() {
+        // [0x80, 0x00] denotes 0, whose canonical form is [0x00].
+        for bad in [&[0x80u8, 0x00][..], &[0x81, 0x80, 0x00], &[0xff, 0x00]] {
+            let err = read_varint(&mut &bad[..], "padded").unwrap_err();
+            assert!(err.to_string().contains("non-minimal"), "{bad:?}: {err}");
+        }
+        // A lone zero byte is canonical.
+        assert_eq!(read_varint(&mut [0x00u8].as_slice(), "zero").unwrap(), 0);
+    }
+}

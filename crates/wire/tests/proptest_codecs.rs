@@ -1,0 +1,178 @@
+//! Property-based round-trips for the two codecs over arbitrary value trees.
+//!
+//! * `BTRW` is a bijection on [`Value`]: every tree (including NaNs, signed
+//!   zeros and the dense `U64s` variant) decodes back identically.
+//! * JSON preserves trees up to its documented canonicalisation (arrays have
+//!   one syntax and numbers one grammar, so `U64s` reads back as `List` and
+//!   non-negative `I64` as `U64`); comparing canonicalised trees — and
+//!   re-encoded bytes — pins the exactness of integers and finite floats.
+
+use btr_wire::{btrw, json, Value};
+use proptest::prelude::*;
+
+/// Consumes words from a generated seed; exhausted seeds yield zeros so the
+/// interpreter always terminates with a well-formed (if small) tree.
+struct Seed<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl Seed<'_> {
+    fn next(&mut self) -> u64 {
+        let word = self.words.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        word
+    }
+}
+
+/// Clears the exponent's top bit of non-finite bit patterns, mapping them
+/// onto finite values while keeping sign, mantissa and low exponent bits.
+fn finite_f64(bits: u64) -> f64 {
+    let f = f64::from_bits(bits);
+    if f.is_finite() {
+        f
+    } else {
+        f64::from_bits(bits & !(1 << 62))
+    }
+}
+
+/// Interprets a word stream as one value tree, at most three levels deep.
+/// Scalars draw from the full 64-bit domain, so extreme integers, subnormal
+/// floats and (when allowed) NaN payloads all occur.
+fn build_value(seed: &mut Seed<'_>, depth: usize, floats_finite: bool) -> Value {
+    let scalar_tags = 7;
+    let tags = if depth >= 2 {
+        scalar_tags
+    } else {
+        scalar_tags + 2
+    };
+    match seed.next() % tags {
+        0 => Value::Null,
+        1 => Value::Bool(seed.next().is_multiple_of(2)),
+        2 => Value::U64(seed.next()),
+        3 => Value::I64(-((seed.next() >> 1) as i64) - 1),
+        4 => {
+            let bits = seed.next();
+            Value::F64(if floats_finite {
+                finite_f64(bits)
+            } else {
+                f64::from_bits(bits)
+            })
+        }
+        5 => {
+            let len = (seed.next() % 12) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| char::from(b' ' + (seed.next() % 95) as u8))
+                    .collect(),
+            )
+        }
+        6 => {
+            let len = (seed.next() % 8) as usize;
+            Value::U64s((0..len).map(|_| seed.next()).collect())
+        }
+        7 => {
+            let len = (seed.next() % 4) as usize;
+            Value::List(
+                (0..len)
+                    .map(|_| build_value(seed, depth + 1, floats_finite))
+                    .collect(),
+            )
+        }
+        _ => {
+            let len = (seed.next() % 4) as usize;
+            Value::Map(
+                (0..len)
+                    .map(|i| (format!("k{i}"), build_value(seed, depth + 1, floats_finite)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn value_from_words(words: &[u64], floats_finite: bool) -> Value {
+    let mut seed = Seed { words, pos: 0 };
+    build_value(&mut seed, 0, floats_finite)
+}
+
+/// Applies JSON's canonicalisation to an in-memory tree: `U64s` becomes a
+/// `List` of `U64` (one array syntax), and float bit patterns survive
+/// untouched. Negative integers stay `I64`, non-negative ones are already
+/// generated as `U64`.
+fn json_canonical(value: &Value) -> Value {
+    match value {
+        Value::U64s(items) => Value::List(items.iter().map(|v| Value::U64(*v)).collect()),
+        Value::List(items) => Value::List(items.iter().map(json_canonical).collect()),
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), json_canonical(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Structural equality that compares floats by bits (`==` treats `-0.0` and
+/// `0.0` as equal and `NaN` as unequal to itself, hiding exactness bugs).
+fn bit_exact_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_exact_eq(x, y))
+        }
+        (Value::Map(xs), Value::Map(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bit_exact_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn btrw_roundtrip_is_identity(words in proptest::collection::vec(any::<u64>(), 0..96)) {
+        let value = value_from_words(&words, false);
+        let bytes = btrw::to_bytes(&value);
+        let back = btrw::from_bytes(&bytes).unwrap();
+        prop_assert!(bit_exact_eq(&back, &value), "{value:?} -> {back:?}");
+        // The encoding is canonical: re-encoding reproduces the bytes.
+        prop_assert_eq!(btrw::to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity_up_to_canonicalisation(
+        words in proptest::collection::vec(any::<u64>(), 0..96)
+    ) {
+        let value = value_from_words(&words, true);
+        let text = json::to_string(&value).unwrap();
+        let back = json::from_str(&text).unwrap();
+        let expected = json_canonical(&value);
+        prop_assert!(bit_exact_eq(&back, &expected), "{text} -> {back:?}");
+        // Canonical JSON is byte-stable under re-encoding.
+        prop_assert_eq!(json::to_string(&back).unwrap(), text);
+        // Pretty printing parses back to the same tree.
+        let pretty = json::to_string_pretty(&value).unwrap();
+        prop_assert!(bit_exact_eq(&json::from_str(&pretty).unwrap(), &expected));
+    }
+
+    #[test]
+    fn json_floats_roundtrip_bit_exactly(bits in proptest::arbitrary::any::<u64>()) {
+        let f = finite_f64(bits);
+        let text = json::to_string(&Value::F64(f)).unwrap();
+        match json::from_str(&text).unwrap() {
+            Value::F64(back) => prop_assert_eq!(back.to_bits(), f.to_bits(), "{}", text),
+            other => prop_assert!(false, "{} parsed as {:?}", text, other),
+        }
+    }
+
+    #[test]
+    fn btrw_u64_sequences_roundtrip(items in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let value = Value::U64s(items.clone());
+        let back = btrw::from_bytes(&btrw::to_bytes(&value)).unwrap();
+        prop_assert_eq!(back, Value::U64s(items));
+    }
+}

@@ -2,7 +2,6 @@
 //! feasible per-branch rate targets inside a cell.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number of classes per metric.
 pub const CLASS_COUNT: usize = 11;
@@ -43,7 +42,7 @@ pub fn class_of(rate: f64) -> usize {
 }
 
 /// One cell of the joint taken/transition class table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JointCell {
     /// Taken-rate class (0–10).
     pub taken_class: usize,
@@ -96,7 +95,7 @@ impl JointCell {
 }
 
 /// Concrete per-branch rate targets chosen inside a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellTarget {
     /// Target taken rate in `[0, 1]`.
     pub taken_rate: f64,

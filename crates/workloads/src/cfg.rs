@@ -25,10 +25,9 @@ use btr_trace::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The condition controlling a synthetic conditional branch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Condition {
     /// Taken while the enclosing loop's iteration counter is below
     /// `trip_count - 1` (a classic backward loop branch).
@@ -56,7 +55,7 @@ pub enum Condition {
 }
 
 /// One structural element of a synthetic program.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Element {
     /// A conditional branch with `skip` elements jumped over when taken.
     Branch {
@@ -76,7 +75,7 @@ enum Element {
 
 /// A synthetic program: a flat list of structural elements produced by
 /// [`CfgBuilder`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CfgProgram {
     elements: Vec<Element>,
     base_addr: u64,

@@ -6,10 +6,9 @@ use btr_trace::{BranchAddr, BranchRecord, Outcome, Trace, TraceBuilder, TraceMet
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The plan for one synthetic static branch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticBranchSpec {
     /// The branch address.
     pub addr: BranchAddr,

@@ -8,10 +8,9 @@ use crate::table2;
 use btr_trace::{BranchAddr, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Global configuration for generating the synthetic suite.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuiteConfig {
     /// Scale factor applied to the paper's dynamic branch counts. The paper
     /// analysed tens of billions of branches; the default of `2e-5` keeps a
@@ -64,7 +63,7 @@ impl SuiteConfig {
 }
 
 /// A synthetic stand-in for one row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Benchmark {
     /// Benchmark name (`"gcc"`, `"compress"`, …).
     pub name: String,

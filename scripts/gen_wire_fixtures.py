@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Generate the golden wire-format fixtures, independently of the Rust code.
+
+This script is the *other* implementation of the wire formats: it follows the
+specs in `crates/wire/src/json.rs` and `crates/wire/src/btrw.rs` (canonical
+JSON; BTRW magic/version header, tagged values, LEB128 varints, zig-zag
+deltas for unsigned sequences) without sharing a line of code with the Rust
+encoders. The checked-in fixtures it writes pin the formats: if the Rust
+encoder or decoder drifts — field order, float formatting, varint width, tag
+numbering, delta convention — `cargo test` fails on a byte comparison
+without relying on proptest luck.
+
+Deterministic: running it twice produces identical bytes. Regenerate with
+
+    python3 scripts/gen_wire_fixtures.py
+"""
+
+import json
+import struct
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class U64Seq(list):
+    """Marks a list of unsigned integers as a dense sequence (BTRW tag 9)."""
+
+
+# ---------------------------------------------------------------- BTRW writer
+
+
+def varint(v: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = v & 0x7F
+        v >>= 7
+        if v == 0:
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def zigzag(v: int) -> int:
+    return (v << 1) ^ (v >> 63) if v >= 0 else ((v << 1) ^ -1) & ((1 << 64) - 1)
+
+
+def encode_value(value) -> bytes:
+    if value is None:
+        return b"\x00"
+    if value is False:
+        return b"\x01"
+    if value is True:
+        return b"\x02"
+    if isinstance(value, U64Seq):
+        out = bytearray(b"\x09" + varint(len(value)))
+        prev = 0
+        for item in value:
+            delta = (item - prev) % (1 << 64)
+            # Interpret the wrapping difference as signed for zig-zag.
+            signed = delta - (1 << 64) if delta >= (1 << 63) else delta
+            out += varint(zigzag(signed))
+            prev = item
+        return bytes(out)
+    if isinstance(value, int):
+        if value >= 0:
+            return b"\x03" + varint(value)
+        return b"\x04" + varint(zigzag(value))
+    if isinstance(value, float):
+        return b"\x05" + struct.pack("<d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"\x06" + varint(len(raw)) + raw
+    if isinstance(value, list):
+        out = bytearray(b"\x07" + varint(len(value)))
+        for item in value:
+            out += encode_value(item)
+        return bytes(out)
+    if isinstance(value, dict):
+        out = bytearray(b"\x08" + varint(len(value)))
+        for key, item in value.items():
+            raw = key.encode("utf-8")
+            out += varint(len(raw)) + raw + encode_value(item)
+        return bytes(out)
+    raise TypeError(f"cannot encode {type(value)}")
+
+
+def encode_btrw(value) -> bytes:
+    return b"BTRW" + struct.pack("<I", 1) + encode_value(value)
+
+
+def encode_json(value) -> bytes:
+    # Canonical form: compact separators, insertion order, raw UTF-8.
+    # Python's float repr is shortest-round-trip, like Rust's.
+    return json.dumps(value, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+
+
+def write_fixture(directory: Path, name: str, value) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.json").write_bytes(encode_json(value))
+    (directory / f"{name}.btrw").write_bytes(encode_btrw(value))
+    print(f"wrote {directory / name}.{{json,btrw}}")
+
+
+# ------------------------------------------------- classification mirrors
+# Binning arithmetic mirrored from crates/core/src/class.rs so grid cells are
+# computed, not hand-copied (IEEE doubles behave identically here and there).
+
+
+def classify_paper11(rate: float) -> int:
+    permille = round(rate * 1000.0)
+    if permille < 50:
+        return 0
+    if permille >= 950:
+        return 10
+    return (permille - 50) // 100 + 1
+
+
+def classify_uniform(rate: float, n: int) -> int:
+    return min(int(rate * n), n - 1)
+
+
+# --------------------------------------------------------------- fixtures
+
+# The shared sample profile: a biased branch, a hard 50/50 branch, a lightly
+# taken branch and a top-of-address-space branch (exercises delta wraparound
+# in the sorted address column).
+BRANCHES = [
+    # (addr, executions, taken, transitions)
+    (0x1000, 100, 97, 4),
+    (0x1010, 50, 25, 24),
+    (0x2000, 200, 10, 19),
+    (0xFFFF_FFFF_FFFF_FFF0, 3, 0, 2),
+]
+
+
+def program_profile():
+    return {
+        "addrs": U64Seq(b[0] for b in BRANCHES),
+        "executions": U64Seq(b[1] for b in BRANCHES),
+        "taken": U64Seq(b[2] for b in BRANCHES),
+        "transitions": U64Seq(b[3] for b in BRANCHES),
+    }
+
+
+def class_distribution():
+    counts = [0] * 11
+    for _, execs, taken, _ in BRANCHES:
+        counts[classify_paper11(taken / execs)] += execs
+    return {
+        "metric": "taken_rate",
+        "scheme": "paper-11",
+        "counts": U64Seq(counts),
+        "total": sum(counts),
+    }
+
+
+def joint_table(n: int = 3):
+    counts = [[0] * n for _ in range(n)]
+    statics = [[0] * n for _ in range(n)]
+    for _, execs, taken, transitions in BRANCHES:
+        t = classify_uniform(taken / execs, n)
+        x = classify_uniform(transitions / execs, n)
+        counts[x][t] += execs
+        statics[x][t] += 1
+    return {
+        "scheme": f"uniform-{n}",
+        "counts": [U64Seq(row) for row in counts],
+        "static_counts": [U64Seq(row) for row in statics],
+        "total": sum(map(sum, counts)),
+    }
+
+
+def kitchen_sink():
+    """Every tag and the tricky encodings, for the wire crate itself."""
+    return {
+        "null": None,
+        "yes": True,
+        "no": False,
+        "u64_max": (1 << 64) - 1,
+        "neg": -42,
+        "pi": 3.141592653589793,
+        "half": 0.5,
+        "two": 2.0,
+        "name": 'héllo "wire"\n\tdone',
+        "seq": U64Seq([0x0040_0000, 0x0040_0008, 0x0040_0010, (1 << 64) - 1, 0]),
+        "list": [1, "x", None, [{"k": []}]],
+        "empty": {},
+    }
+
+
+def main() -> None:
+    write_fixture(ROOT / "crates/wire/tests/fixtures", "kitchen_sink", kitchen_sink())
+    core = ROOT / "crates/core/tests/fixtures"
+    write_fixture(core, "program_profile", program_profile())
+    write_fixture(core, "class_distribution", class_distribution())
+    write_fixture(core, "joint_table", joint_table())
+
+
+if __name__ == "__main__":
+    main()

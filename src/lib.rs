@@ -15,6 +15,8 @@
 //!   classification and the analyses built on it.
 //! * [`sim`] — the trace-driven simulation harness and per-figure experiment
 //!   definitions.
+//! * [`wire`] — the JSON and `BTRW` wire formats every analysis artifact
+//!   serialises through.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +37,7 @@ pub use btr_core as core;
 pub use btr_predictors as predictors;
 pub use btr_sim as sim;
 pub use btr_trace as trace;
+pub use btr_wire as wire;
 pub use btr_workloads as workloads;
 
 /// Commonly used items, re-exported for ergonomic `use btr::prelude::*;`.
@@ -49,5 +52,6 @@ pub mod prelude {
     };
     pub use btr_sim::{config::PredictorKind, config::SimConfig, engine::SimEngine};
     pub use btr_trace::{BranchAddr, BranchKind, BranchRecord, Outcome, Trace, TraceBuilder};
+    pub use btr_wire::Wire;
     pub use btr_workloads::{spec::Benchmark, spec::SuiteConfig};
 }

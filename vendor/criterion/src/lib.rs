@@ -14,11 +14,14 @@
 //!
 //! When the `CRITERION_JSON` environment variable names a file, every
 //! benchmark additionally appends one JSON line to it —
-//! `{"id": …, "mean_ns": …, "per_sec": …}` — so CI can collect per-figure
-//! timings as an artifact and diff them across commits.
+//! `{"id": …, "mean_ns": …, "per_sec": …, "unit": …}` — so CI can collect
+//! per-figure timings as an artifact and diff them across commits. The lines
+//! are written with `btr_wire::json`, the same canonical JSON writer the
+//! `reproduce` artifacts use.
 
 #![forbid(unsafe_code)]
 
+use btr_wire::{json, MapBuilder};
 use std::fmt;
 use std::fs::OpenOptions;
 use std::io::Write as _;
@@ -199,7 +202,9 @@ fn run_one<F: FnMut(&mut Bencher)>(
 
 /// Appends one machine-readable result line to the `CRITERION_JSON` file, if
 /// that environment variable is set. `per_sec` carries its unit so artifact
-/// consumers can tell records/sec from bytes/sec. Failures to write are
+/// consumers can tell records/sec from bytes/sec. Times and rates are
+/// rounded to one decimal (sub-0.1 ns resolution is measurement noise) and
+/// encoded with the workspace's canonical JSON writer. Failures to write are
 /// reported on stderr but never fail the benchmark run.
 fn emit_json_line(id: &str, mean_secs: f64, per_sec: Option<(f64, &str)>) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
@@ -208,21 +213,25 @@ fn emit_json_line(id: &str, mean_secs: f64, per_sec: Option<(f64, &str)>) {
     if path.is_empty() {
         return;
     }
-    let escaped: String = id
-        .chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            _ => vec![c],
-        })
-        .collect();
-    let per_sec_field = match per_sec {
-        Some((r, unit)) => format!(", \"per_sec\": {r:.1}, \"unit\": \"{unit}/s\""),
-        None => String::new(),
+    let tenth = |v: f64| (v * 10.0).round() / 10.0;
+    let mut fields = MapBuilder::new()
+        .field("id", id)
+        .field("mean_ns", tenth(mean_secs * 1e9));
+    if let Some((rate, unit)) = per_sec {
+        fields = fields
+            .field("per_sec", tenth(rate))
+            .field("unit", format!("{unit}/s"));
+    }
+    let mut line = match json::to_string(&fields.build()) {
+        Ok(line) => line,
+        Err(err) => {
+            // Unreachable for finite timings, but a bench must never panic
+            // over its own reporting.
+            eprintln!("criterion stand-in: cannot encode result line: {err}");
+            return;
+        }
     };
-    let line = format!(
-        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.1}{per_sec_field}}}\n",
-        mean_secs * 1e9
-    );
+    line.push('\n');
     let written = OpenOptions::new()
         .create(true)
         .append(true)
@@ -302,14 +311,23 @@ mod tests {
             .lines()
             .find(|l| l.contains("\\\"quoted\\\""))
             .expect("escaped id line present");
-        assert!(quoted.contains("\"mean_ns\": 1500000.0"));
-        assert!(quoted.contains("\"per_sec\": 2000000.0"));
-        assert!(quoted.contains("\"unit\": \"elements/s\""));
+        // Each line is one canonical-JSON document the wire parser accepts.
+        let parsed = json::from_str(quoted).expect("line must be valid JSON");
+        assert_eq!(
+            parsed.get("id").unwrap().as_str().unwrap(),
+            "group/\"quoted\""
+        );
+        assert_eq!(parsed.get("mean_ns").unwrap().as_f64().unwrap(), 1.5e6);
+        assert_eq!(parsed.get("per_sec").unwrap().as_f64().unwrap(), 2.0e6);
+        assert_eq!(parsed.get("unit").unwrap().as_str().unwrap(), "elements/s");
+        // Floats keep a fraction marker so consumers parse them as floats.
+        assert!(quoted.contains("\"mean_ns\":1500000.0"));
         let plain = contents
             .lines()
-            .find(|l| l.contains("\"id\": \"plain\""))
+            .find(|l| l.contains("\"id\":\"plain\""))
             .expect("plain id line present");
-        assert!(!plain.contains("per_sec"));
+        let parsed = json::from_str(plain).expect("line must be valid JSON");
+        assert!(parsed.get_opt("per_sec").unwrap().is_none());
         let _ = std::fs::remove_file(&path);
     }
 
