@@ -143,6 +143,16 @@ impl DenseMissTable {
         }
     }
 
+    /// Wraps already-accumulated per-id statistics in a table (the fused
+    /// multi-history engine path accumulates all history slots in one
+    /// id-major arena, then splits it into one table per slot).
+    ///
+    /// Debug builds assert every entry has `hits <= lookups`.
+    pub fn from_stats(stats: Vec<PredictionStats>) -> Self {
+        debug_assert!(stats.iter().all(|s| s.hits <= s.lookups));
+        DenseMissTable { stats }
+    }
+
     /// Records one prediction result for the branch with dense id `id`.
     ///
     /// # Panics

@@ -39,6 +39,7 @@ pub mod confidence;
 pub mod counter;
 pub mod dispatch;
 pub mod filterpred;
+pub mod fused;
 pub mod gshare;
 pub mod history;
 pub mod hybrid;
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use crate::counter::SaturatingCounter;
     pub use crate::dispatch::DispatchPredictor;
     pub use crate::filterpred::FilterPredictor;
+    pub use crate::fused::FusedSweepPredictor;
     pub use crate::gshare::GsharePredictor;
     pub use crate::hybrid::{ClassifiedHybrid, McFarlingHybrid};
     pub use crate::predictor::BranchPredictor;

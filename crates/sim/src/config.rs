@@ -3,6 +3,7 @@
 use btr_core::class::BinningScheme;
 use btr_predictors::bimodal::BimodalPredictor;
 use btr_predictors::dispatch::DispatchPredictor;
+use btr_predictors::fused::FusedSweepPredictor;
 use btr_predictors::gshare::GsharePredictor;
 use btr_predictors::predictor::BranchPredictor;
 use btr_predictors::staticp::StaticPredictor;
@@ -33,6 +34,17 @@ impl PredictorFamily {
         match self {
             PredictorFamily::PAs => TwoLevelPredictor::pas_paper(history),
             PredictorFamily::GAs => TwoLevelPredictor::gas_paper(history),
+        }
+    }
+
+    /// The paper-sized predictors of this family at **every** history length
+    /// in `histories`, fused into one multi-slot predictor so a whole sweep
+    /// costs a single trace pass (see
+    /// [`crate::engine::SimEngine::run_fused`]).
+    pub fn fused_paper(self, histories: &[u32]) -> FusedSweepPredictor {
+        match self {
+            PredictorFamily::PAs => FusedSweepPredictor::pas_paper(histories),
+            PredictorFamily::GAs => FusedSweepPredictor::gas_paper(histories),
         }
     }
 

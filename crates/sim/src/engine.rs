@@ -28,13 +28,80 @@
 //!   ([`WarmupWindow`]), producing a mergeable [`DenseMissTable`] partial;
 //!   the suite runner schedules windows of one huge trace across the
 //!   work-stealing pool this way.
+//!
+//! Finally, the *fused* paths simulate an entire history sweep in one pass:
+//!
+//! * [`SimEngine::run_fused`] drives a [`FusedSweepPredictor`] — every
+//!   history length of one family at once — over an interned trace, yielding
+//!   one [`RunResult`] per history slot from a single traversal.
+//! * [`SimEngine::run_fused_streamed`] does the same from [`TraceChunk`]s, so
+//!   a paper-scale trace produces the whole history curve from one chunked
+//!   decode pass instead of re-decoding the bytes per sweep point.
 
 use crate::config::WarmupWindow;
 use btr_core::analysis::{miss_map_from_value, miss_map_to_value, BranchMissMap, DenseMissTable};
 use btr_predictors::dispatch::DispatchPredictor;
+use btr_predictors::fused::FusedSweepPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
 use btr_trace::{BranchAddr, InternedTrace, Trace, TraceChunk};
 use btr_wire::{MapBuilder, Value, Wire, WireError};
+
+/// Number of records per [`FusedBlock`] in the fused engine paths: small
+/// enough that the block scratch plus one slot's PHT plus one slot's hit row
+/// stay cache-resident during a replay phase, large enough to amortise the
+/// per-block slot-phase setup.
+const FUSED_BLOCK_RECORDS: usize = 2048;
+
+/// Per-(branch, history-slot) statistics accumulator for the fused sweep
+/// paths.
+///
+/// Every history slot of a fused run scores every record, so the per-id
+/// lookup count is *shared* across slots and stored once; only the hit counts
+/// differ per slot. Hit rows are slot-major — a slot's replay phase updates
+/// one contiguous per-id row, matching the blocked replay's access pattern.
+#[derive(Debug, Clone)]
+struct FusedMissAccumulator {
+    /// Per-id lookup counts (identical for every slot).
+    lookups: Vec<u64>,
+    /// Per-slot, per-id hit counts.
+    hits: Vec<Vec<u64>>,
+}
+
+impl FusedMissAccumulator {
+    fn new(slots: usize, static_count: usize) -> Self {
+        FusedMissAccumulator {
+            lookups: vec![0; static_count],
+            hits: vec![vec![0; static_count]; slots],
+        }
+    }
+
+    /// Grows every row so ids `0 .. static_count` are valid (the streamed
+    /// path discovers static branches incrementally).
+    fn grow_to(&mut self, static_count: usize) {
+        if static_count > self.lookups.len() {
+            self.lookups.resize(static_count, 0);
+            for row in &mut self.hits {
+                row.resize(static_count, 0);
+            }
+        }
+    }
+
+    /// Splits the accumulator into one per-slot [`RunResult`], in slot order.
+    fn into_results(self, addrs: &[BranchAddr]) -> Vec<RunResult> {
+        self.hits
+            .into_iter()
+            .map(|row| {
+                let stats: Vec<PredictionStats> = self
+                    .lookups
+                    .iter()
+                    .zip(row)
+                    .map(|(&lookups, hits)| PredictionStats { lookups, hits })
+                    .collect();
+                result_from_dense(DenseMissTable::from_stats(stats), addrs)
+            })
+            .collect()
+    }
+}
 
 /// Folds a dense per-id statistics table into a [`RunResult`], computing the
 /// overall statistics as the table's column sums (exact, since every scored
@@ -49,6 +116,53 @@ pub(crate) fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> 
     RunResult {
         overall,
         per_branch: dense.into_map(addrs),
+    }
+}
+
+/// Drives `records` through a fused predictor block by block: load a block
+/// (advancing the shared history registers and capturing pre-push patterns),
+/// then replay every history slot's PHT over it in a cache-resident phase.
+///
+/// `start_pos` is the absolute stream position of `records[0]`; the record
+/// at absolute position `p` is scored only when `p >= warmup` (blocks are
+/// split at the warmup boundary so a block is either fully trained-only or
+/// fully scored). `ids` is a reusable scratch buffer.
+#[allow(clippy::too_many_arguments)]
+fn drive_fused_blocks(
+    fused: &mut FusedSweepPredictor,
+    block: &mut btr_predictors::fused::FusedBlock,
+    records: &[btr_trace::InternedRecord],
+    start_pos: u64,
+    warmup: u64,
+    acc: &mut FusedMissAccumulator,
+    ids: &mut Vec<u32>,
+) {
+    let mut offset = 0usize;
+    while offset < records.len() {
+        let pos = start_pos + offset as u64;
+        let mut end = offset + FUSED_BLOCK_RECORDS.min(records.len() - offset);
+        if pos < warmup {
+            let to_boundary = usize::try_from(warmup - pos).unwrap_or(usize::MAX);
+            end = end.min(offset.saturating_add(to_boundary));
+        }
+        let batch = &records[offset..end];
+        fused.load_block(batch.iter().map(|r| (r.addr(), r.outcome())), block);
+        if pos >= warmup {
+            ids.clear();
+            ids.extend(batch.iter().map(btr_trace::InternedRecord::id));
+            for &id in ids.iter() {
+                acc.lookups[id as usize] += 1;
+            }
+            for slot in 0..fused.slot_count() {
+                fused.replay_slot_scored(slot, block, ids, &mut acc.hits[slot]);
+            }
+        } else {
+            // Warmup block: train every slot, record nothing.
+            for slot in 0..fused.slot_count() {
+                fused.replay_slot(slot, block, |_, _| {});
+            }
+        }
+        offset = end;
     }
 }
 
@@ -188,6 +302,87 @@ impl SimEngine {
         // Every post-warmup record lands in the dense table, so the overall
         // statistics are its column sums — no per-record aggregate needed.
         result_from_dense(dense, trace.addrs())
+    }
+
+    /// Runs a fused multi-history predictor over an interned trace, producing
+    /// one [`RunResult`] per history slot (in `fused.histories()` order) from
+    /// a **single** trace traversal.
+    ///
+    /// This is the sweep hot path: where a per-history sweep walks the trace
+    /// once per history length, the fused run drives every slot's pattern
+    /// table from one shared history register read per record (see
+    /// [`FusedSweepPredictor`]), so the whole history curve costs one pass.
+    /// Results are bit-identical to running
+    /// [`SimEngine::run_dispatch`] once per history length with the
+    /// standalone paper predictor — pinned by `tests/fused_equivalence.rs`.
+    ///
+    /// The engine's warmup exclusion applies to every slot identically, just
+    /// as it would to each standalone run.
+    pub fn run_fused(
+        &self,
+        trace: &InternedTrace,
+        fused: &mut FusedSweepPredictor,
+    ) -> Vec<RunResult> {
+        let mut acc = FusedMissAccumulator::new(fused.slot_count(), trace.static_count());
+        let mut block = fused.new_block(FUSED_BLOCK_RECORDS);
+        let mut ids = Vec::with_capacity(FUSED_BLOCK_RECORDS);
+        drive_fused_blocks(
+            fused,
+            &mut block,
+            trace.records(),
+            0,
+            self.warmup,
+            &mut acc,
+            &mut ids,
+        );
+        acc.into_results(trace.addrs())
+    }
+
+    /// [`SimEngine::run_fused`] over a stream of [`TraceChunk`]s: the whole
+    /// history curve from **one** chunked decode pass, without materialising
+    /// the trace (peak memory is one chunk plus the per-slot tables).
+    ///
+    /// The chunk contract matches [`SimEngine::run_streamed`]; results are
+    /// bit-identical to the eager [`SimEngine::run_fused`] over the same
+    /// records — pinned by `tests/fused_equivalence.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode error the chunk stream yields.
+    pub fn run_fused_streamed<I>(
+        &self,
+        chunks: I,
+        fused: &mut FusedSweepPredictor,
+    ) -> btr_trace::Result<Vec<RunResult>>
+    where
+        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+    {
+        let mut acc = FusedMissAccumulator::new(fused.slot_count(), 0);
+        let mut block = fused.new_block(FUSED_BLOCK_RECORDS);
+        let mut ids = Vec::with_capacity(FUSED_BLOCK_RECORDS);
+        let mut addrs: Vec<BranchAddr> = Vec::new();
+        let mut seen = 0u64;
+        for chunk in chunks {
+            let chunk = chunk?;
+            let records = chunk.conditional();
+            for record in records {
+                if record.id() as usize == addrs.len() {
+                    addrs.push(record.addr());
+                }
+            }
+            acc.grow_to(addrs.len());
+            drive_fused_blocks(
+                fused,
+                &mut block,
+                records,
+                seen,
+                self.warmup,
+                &mut acc,
+                &mut ids,
+            );
+            seen += records.len() as u64;
+        }
+        Ok(acc.into_results(&addrs))
     }
 
     /// Runs a concrete predictor over a stream of [`TraceChunk`]s without

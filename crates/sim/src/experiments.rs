@@ -87,7 +87,10 @@ impl ExperimentContext {
 
     /// Generates traces and runs both sweeps, producing the shared data every
     /// experiment consumes. Traces are interned once and shared by the PAs
-    /// and GAs sweeps, which run on the work-stealing grid.
+    /// and GAs sweeps, which run on the work-stealing grid as one *fused*
+    /// multi-history task per benchmark — every history-curve figure
+    /// (fig3/fig4, fig9–12, …) is backed by a single trace pass per
+    /// benchmark per family, bit-identical to the per-history runs.
     pub fn prepare(&self) -> SuiteData {
         let runner = SuiteRunner::new(self.suite)
             .with_benchmarks(self.benchmarks.clone())

@@ -5,13 +5,16 @@
 //!
 //! * [`config`] — predictor configurations the harness knows how to build.
 //! * [`engine`] — runs a trace through a predictor, collecting overall and
-//!   per-branch hit/miss statistics. Offers a `dyn` compatibility path and a
+//!   per-branch hit/miss statistics. Offers a `dyn` compatibility path, a
 //!   devirtualized, dense-indexed hot path over interned traces
-//!   ([`engine::SimEngine::run_dispatch`]).
+//!   ([`engine::SimEngine::run_dispatch`]), and a fused multi-history path
+//!   that simulates a whole history sweep in one trace pass
+//!   ([`engine::SimEngine::run_fused`], with a chunk-streamed variant).
 //! * [`sweep`] — history-length sweeps (0–16) for PAs and GAs, producing the
-//!   class × history matrices of the paper's figures.
+//!   class × history matrices of the paper's figures; one fused pass per
+//!   trace instead of one pass per history length.
 //! * [`runner`] — parallel execution of sweeps across the benchmark suite as
-//!   a (benchmark × history) grid on a vendored work-stealing pool, plus
+//!   one fused task per benchmark on a vendored work-stealing pool, plus
 //!   per-trace windowed parallelism for single huge traces
 //!   ([`runner::SuiteRunner::run_trace_windowed`]).
 //! * [`experiments`] — one function per paper table/figure, returning both

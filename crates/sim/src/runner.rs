@@ -2,11 +2,14 @@
 //!
 //! Earlier revisions parallelised with `std::thread::scope` plus a
 //! mutex-guarded shared work index, and split sweeps by history length only —
-//! so a sweep over fewer history lengths than cores left threads idle. The
-//! runner now flattens every sweep into a (benchmark × history) grid of
-//! tasks executed on a vendored work-stealing pool ([`stealpool`]), with
-//! per-task partial results merged deterministically by task index; a single
-//! large sweep saturates all cores even when `histories.len() < threads`.
+//! so a sweep over fewer history lengths than cores left threads idle. A
+//! later revision flattened sweeps into a (benchmark × history) grid on a
+//! vendored work-stealing pool ([`stealpool`]); the grid dimension is now
+//! (benchmark × **1 fused task**): each task simulates every history length
+//! of the sweep from a single trace pass
+//! ([`crate::engine::SimEngine::run_fused`]), so the whole history curve of
+//! a benchmark costs one traversal instead of `histories.len()`. Per-task
+//! partial results are still merged deterministically by benchmark index.
 
 use crate::config::{PredictorFamily, PredictorKind, WindowConfig};
 use crate::engine::{RunResult, SimEngine};
@@ -96,7 +99,7 @@ impl SuiteRunner {
     }
 
     /// Sweeps one predictor family over the given history lengths for all
-    /// traces. Every benchmark uses a fresh predictor instance per history
+    /// traces. Every benchmark uses fresh predictor state per history
     /// length, exactly as the sequential [`crate::sweep::HistorySweep`] does.
     ///
     /// Interns the traces first; prefer [`SuiteRunner::run_sweep_interned`]
@@ -112,12 +115,19 @@ impl SuiteRunner {
 
     /// Sweeps one predictor family over already-interned traces.
     ///
-    /// The sweep is flattened into one task per (benchmark, history) grid
-    /// cell; tasks run on the work-stealing pool through the monomorphized
-    /// engine path, and the per-benchmark partial results of each history
-    /// length are merged in benchmark-index order, so the outcome is
-    /// bit-identical to the sequential sweep no matter how tasks were
-    /// scheduled.
+    /// The grid is (benchmark × fused history-group): by default one
+    /// **fused** task per benchmark simulates every history length of the
+    /// sweep in a single trace pass ([`SimEngine::run_fused`]), instead of
+    /// one task — and one full trace walk — per (benchmark, history) cell.
+    /// When that would leave workers idle (fewer benchmarks than threads),
+    /// the histories are split into just enough contiguous fused groups to
+    /// occupy the pool — each group is still one fused pass over its subset,
+    /// so a single-benchmark sweep keeps history-level parallelism without
+    /// giving up fusion. Per-task results are split back out per history and
+    /// merged in benchmark-index order, so the outcome is bit-identical to
+    /// the sequential per-history sweep no matter the grouping or schedule
+    /// (pinned by `tests/fused_equivalence.rs` and
+    /// `tests/grid_determinism.rs`).
     ///
     /// # Panics
     ///
@@ -133,25 +143,30 @@ impl SuiteRunner {
             "at least one history length is required"
         );
         let engine = SimEngine::new();
-        let grid: Vec<(usize, u32)> = histories
-            .iter()
-            .flat_map(|&history| (0..traces.len()).map(move |bench| (bench, history)))
+        let group_count = self
+            .threads
+            .div_ceil(traces.len().max(1))
+            .clamp(1, histories.len());
+        let groups: Vec<&[u32]> = histories
+            .chunks(histories.len().div_ceil(group_count))
             .collect();
-        let partials: Vec<RunResult> = self.pool().run(grid, |_, (bench, history)| {
-            let mut predictor = family.paper_predictor(history);
-            engine.run_interned(&traces[bench], &mut predictor)
+        let grid: Vec<(usize, usize)> = (0..groups.len())
+            .flat_map(|group| (0..traces.len()).map(move |bench| (bench, group)))
+            .collect();
+        let partials: Vec<Vec<RunResult>> = self.pool().run(grid, |_, (bench, group)| {
+            let mut fused = family.fused_paper(groups[group]);
+            engine.run_fused(&traces[bench], &mut fused)
         });
-        let parts = histories
-            .iter()
-            .enumerate()
-            .map(|(h_idx, &history)| {
+        let mut parts = Vec::with_capacity(histories.len());
+        for (g, group) in groups.iter().enumerate() {
+            for (slot, &history) in group.iter().enumerate() {
                 let mut merged = RunResult::default();
-                for partial in &partials[h_idx * traces.len()..(h_idx + 1) * traces.len()] {
-                    merged.merge(partial);
+                for bench in 0..traces.len() {
+                    merged.merge(&partials[g * traces.len() + bench][slot]);
                 }
-                (history, merged)
-            })
-            .collect();
+                parts.push((history, merged));
+            }
+        }
         SweepResult::from_parts(family, parts)
     }
 

@@ -1,6 +1,11 @@
 //! History-length sweeps: the core experimental procedure of the paper
 //! (simulate PAs and GAs at history lengths 0–16 and fold the results over
 //! branch classes).
+//!
+//! Sweeps run on the *fused* engine path: one
+//! [`btr_predictors::fused::FusedSweepPredictor`] per trace simulates every
+//! history length in a single pass (bit-identical to one run per length —
+//! see [`SimEngine::run_fused`] and `tests/fused_equivalence.rs`).
 
 use crate::config::PredictorFamily;
 use crate::engine::{RunResult, SimEngine};
@@ -10,6 +15,7 @@ use btr_core::analysis::{
 use btr_core::class::BinningScheme;
 use btr_core::distribution::Metric;
 use btr_core::profile::ProgramProfile;
+use btr_predictors::predictor::PredictionStats;
 use btr_trace::Trace;
 use btr_wire::{MapBuilder, Value, Wire, WireError};
 
@@ -20,24 +26,35 @@ pub struct SweepResult {
     family: PredictorFamily,
     /// Per-history aggregated per-branch statistics.
     runs: Vec<(u32, BranchMissMap)>,
-    /// Per-history overall statistics.
-    overall: Vec<(u32, RunResult)>,
+    /// Per-history overall statistics (always the column sums of the
+    /// corresponding `runs` entry; kept separately so overall rates survive
+    /// without re-summing the maps).
+    overall: Vec<(u32, PredictionStats)>,
 }
 
 impl SweepResult {
     /// Assembles a sweep result from per-history run results (used by the
-    /// parallel suite runner, which executes the (benchmark × history) grid
-    /// on a work-stealing pool and merges partial results per history).
+    /// parallel suite runner, which executes one fused task per benchmark on
+    /// a work-stealing pool and merges partial results per history).
     pub fn from_parts(family: PredictorFamily, mut parts: Vec<(u32, RunResult)>) -> Self {
         parts.sort_by_key(|(h, _)| *h);
-        let runs = parts
-            .iter()
-            .map(|(h, r)| (*h, r.per_branch.clone()))
-            .collect();
+        SweepResult::assemble(family, parts)
+    }
+
+    /// Builds a sweep result from per-history runs in the order given,
+    /// **moving** each run's per-branch map into place — per-branch
+    /// statistics are never cloned, whatever the sweep size.
+    fn assemble(family: PredictorFamily, parts: Vec<(u32, RunResult)>) -> Self {
+        let mut runs = Vec::with_capacity(parts.len());
+        let mut overall = Vec::with_capacity(parts.len());
+        for (history, result) in parts {
+            overall.push((history, result.overall));
+            runs.push((history, result.per_branch));
+        }
         SweepResult {
             family,
             runs,
-            overall: parts,
+            overall,
         }
     }
 
@@ -69,7 +86,7 @@ impl SweepResult {
         self.overall
             .iter()
             .find(|(h, _)| *h == history)
-            .and_then(|(_, r)| r.miss_rate())
+            .and_then(|(_, stats)| stats.miss_rate())
     }
 
     /// Builds the class × history miss matrix for one metric
@@ -145,10 +162,10 @@ impl Wire for SweepResult {
             .overall
             .iter()
             .zip(&self.runs)
-            .map(|((history, result), (_, per_branch))| {
+            .map(|((history, overall), (_, per_branch))| {
                 MapBuilder::new()
                     .field("history", *history)
-                    .field("overall", result.overall.to_value())
+                    .field("overall", overall.to_value())
                     .field("per_branch", miss_map_to_value(per_branch))
                     .build()
             })
@@ -170,8 +187,8 @@ impl Wire for SweepResult {
             // decoding through RunResult re-validates that the overall
             // statistics equal the per-branch sums.
             let result = RunResult::from_value(entry)?;
-            runs.push((history, result.per_branch.clone()));
-            overall.push((history, result));
+            overall.push((history, result.overall));
+            runs.push((history, result.per_branch));
         }
         Ok(SweepResult {
             family,
@@ -242,29 +259,36 @@ impl HistorySweep {
 
     /// Runs the sweep over a set of traces.
     ///
-    /// Each benchmark trace gets a fresh predictor instance per history
-    /// length (matching `sim-bpred`, which simulates each benchmark
-    /// independently); statistics are merged across traces per history
-    /// length.
+    /// Each benchmark trace gets fresh predictor state per history length
+    /// (matching `sim-bpred`, which simulates each benchmark independently);
+    /// statistics are merged across traces per history length.
+    ///
+    /// All history lengths of one trace are simulated by a single fused pass
+    /// ([`SimEngine::run_fused`]) instead of one trace walk per length —
+    /// bit-identical, since each length's pattern tables are independent
+    /// state driven by the same shared history register.
     pub fn run(&self, traces: &[&Trace]) -> SweepResult {
         let engine = SimEngine::new().with_warmup(self.warmup);
-        let mut runs = Vec::with_capacity(self.histories.len());
-        let mut overall = Vec::with_capacity(self.histories.len());
-        for &history in &self.histories {
-            let mut merged = RunResult::default();
-            for trace in traces {
-                let mut predictor = self.family.paper_predictor(history);
-                let result = engine.run(trace, &mut predictor);
-                merged.merge(&result);
+        let mut merged: Vec<(u32, RunResult)> = self
+            .histories
+            .iter()
+            .map(|&history| (history, RunResult::default()))
+            .collect();
+        for (trace_idx, trace) in traces.iter().enumerate() {
+            let interned = trace.intern();
+            let mut fused = self.family.fused_paper(&self.histories);
+            let results = engine.run_fused(&interned, &mut fused);
+            for ((_, acc), result) in merged.iter_mut().zip(results) {
+                // The first trace's results are moved into place wholesale;
+                // later traces merge counter-wise.
+                if trace_idx == 0 {
+                    *acc = result;
+                } else {
+                    acc.merge(&result);
+                }
             }
-            runs.push((history, merged.per_branch.clone()));
-            overall.push((history, merged));
         }
-        SweepResult {
-            family: self.family,
-            runs,
-            overall,
-        }
+        SweepResult::assemble(self.family, merged)
     }
 }
 

@@ -1,6 +1,8 @@
-//! Determinism guarantees of the work-stealing (benchmark × history) grid:
-//! whatever the thread count or task schedule, the parallel sweep must equal
-//! the sequential [`HistorySweep`] bit for bit.
+//! Determinism guarantees of the work-stealing sweep grid (one fused
+//! multi-history task per benchmark): whatever the thread count or task
+//! schedule, the parallel sweep must equal the sequential [`HistorySweep`]
+//! bit for bit. (Both run the fused engine path; its bit-identity to the
+//! per-history dispatch runs is pinned separately by `fused_equivalence.rs`.)
 
 use btr_sim::config::PredictorFamily;
 use btr_sim::runner::SuiteRunner;
@@ -41,6 +43,23 @@ fn more_threads_than_histories_matches_sequential_bit_for_bit() {
     let runner = runner_with_threads(8);
     let traces = runner.generate_traces();
     let histories = [0u32, 4];
+    for family in [PredictorFamily::PAs, PredictorFamily::GAs] {
+        let parallel = runner.run_sweep(&traces, family, &histories);
+        let sequential = sequential_reference(&traces, family, &histories);
+        assert_eq!(parallel, sequential, "{} diverged", family.label());
+    }
+}
+
+#[test]
+fn single_benchmark_with_many_threads_matches_sequential_bit_for_bit() {
+    // 1 benchmark, 8 threads, dense 0..=16: the fused sweep must split the
+    // histories into enough fused groups to occupy the pool, and regrouping
+    // must not change a single bit of the result.
+    let runner = SuiteRunner::new(tiny_config())
+        .with_benchmarks(vec![Benchmark::compress()])
+        .with_threads(8);
+    let traces = runner.generate_traces();
+    let histories: Vec<u32> = (0..=16).collect();
     for family in [PredictorFamily::PAs, PredictorFamily::GAs] {
         let parallel = runner.run_sweep(&traces, family, &histories);
         let sequential = sequential_reference(&traces, family, &histories);

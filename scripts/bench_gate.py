@@ -4,8 +4,9 @@
 The vendored criterion appends one JSON object per benchmark to
 $CRITERION_JSON, carrying `id`, `mean_ns` and (for throughput benches)
 `per_sec`. CI archives that file per run; this script compares the current
-run against the previous artifact and fails when any benchmark's records/sec
-drops by more than the threshold (default 15%).
+run against the previous artifact, prints a per-benchmark delta summary
+table, and fails when any benchmark's records/sec drops by more than the
+threshold (default 15%).
 
 Benchmarks without a `per_sec` field fall back to comparing `mean_ns`
 (inverted, so "slower" is a regression either way). Ids present in only one
@@ -44,6 +45,40 @@ def load(path):
     return rates
 
 
+def print_table(rows):
+    """Prints an aligned per-benchmark delta summary table.
+
+    `rows` is a list of (bench_id, baseline, current, delta, status) with
+    baseline/current/delta possibly None (NEW and DROPPED benchmarks).
+    """
+    headers = ("benchmark", "baseline/s", "current/s", "delta", "status")
+    rendered = [
+        (
+            bench_id,
+            f"{old:.3e}" if old is not None else "-",
+            f"{new:.3e}" if new is not None else "-",
+            f"{change:+.1%}" if change is not None else "-",
+            status,
+        )
+        for bench_id, old, new, change, status in rows
+    ]
+    widths = [
+        max(len(headers[col]), max((len(r[col]) for r in rendered), default=0))
+        for col in range(len(headers))
+    ]
+
+    def line(cells):
+        # Left-align the benchmark name, right-align the numeric columns.
+        out = [cells[0].ljust(widths[0])]
+        out += [cells[col].rjust(widths[col]) for col in range(1, len(cells))]
+        return "  " + "  ".join(out)
+
+    print(line(headers))
+    print(line(tuple("-" * w for w in widths)))
+    for row in rendered:
+        print(line(row))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -62,22 +97,25 @@ def main():
         print(f"gate: baseline {args.baseline} holds no benchmarks; passing trivially")
         return 0
 
+    rows = []
     failures = []
     for bench_id in sorted(set(baseline) | set(current)):
         old = baseline.get(bench_id)
         new = current.get(bench_id)
         if old is None:
-            print(f"  NEW      {bench_id}: {new:.3e}/s (no baseline)")
+            rows.append((bench_id, None, new, None, "NEW"))
             continue
         if new is None:
-            print(f"  DROPPED  {bench_id}: was {old:.3e}/s (not failing the gate)")
+            rows.append((bench_id, old, None, None, "DROPPED"))
             continue
         change = (new - old) / old
         status = "OK"
         if change < -args.threshold:
             status = "REGRESSED"
             failures.append((bench_id, old, new, change))
-        print(f"  {status:<9}{bench_id}: {old:.3e} -> {new:.3e}/s ({change:+.1%})")
+        rows.append((bench_id, old, new, change, status))
+
+    print_table(rows)
 
     if failures:
         print(
