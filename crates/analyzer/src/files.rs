@@ -1,0 +1,155 @@
+//! Workspace file discovery and scope classification.
+//!
+//! The lint passes scope themselves by *where* a file lives, not by
+//! configuration: `src/` and `crates/*/src` are first-party library code and
+//! get every pass; `crates/*/tests`, `crates/*/benches` and `examples/` are
+//! harness code (only the `unsafe` scan applies); `vendor/*/src` is vendored
+//! code (panic-path ratchet and `unsafe` scan apply, determinism and
+//! wall-clock lints do not — the stand-ins never produce result data).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where a source file sits in the workspace, which decides the passes that
+/// apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `src/**` or `crates/*/src/**`: first-party library code (binaries
+    /// under `src/bin` included).
+    WorkspaceLib,
+    /// `crates/*/tests/**`, `crates/*/benches/**`, `examples/**` or a root
+    /// `tests/**`: test and harness code.
+    WorkspaceTest,
+    /// `vendor/*/src/**` (and vendored `tests/`): offline stand-in code.
+    Vendor,
+}
+
+/// One discovered source file: its workspace-relative path (forward slashes)
+/// and scope.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Scope class; see [`Scope`].
+    pub scope: Scope,
+    /// The file contents.
+    pub source: String,
+}
+
+impl SourceFile {
+    /// Whether this file is a crate root (`src/lib.rs`) that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub fn is_crate_root(&self) -> bool {
+        self.rel_path == "src/lib.rs"
+            || (self.rel_path.ends_with("/src/lib.rs")
+                && (self.rel_path.starts_with("crates/") || self.rel_path.starts_with("vendor/")))
+    }
+}
+
+/// Discovers every `.rs` file the analyzer scans, in deterministic
+/// (path-sorted) order.
+///
+/// # Errors
+///
+/// Fails if a directory or file under the workspace cannot be read.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    collect(root, &root.join("src"), Scope::WorkspaceLib, &mut files)?;
+    collect(
+        root,
+        &root.join("examples"),
+        Scope::WorkspaceTest,
+        &mut files,
+    )?;
+    collect(root, &root.join("tests"), Scope::WorkspaceTest, &mut files)?;
+    for member in subdirs(&root.join("crates"))? {
+        collect(root, &member.join("src"), Scope::WorkspaceLib, &mut files)?;
+        collect(
+            root,
+            &member.join("tests"),
+            Scope::WorkspaceTest,
+            &mut files,
+        )?;
+        collect(
+            root,
+            &member.join("benches"),
+            Scope::WorkspaceTest,
+            &mut files,
+        )?;
+    }
+    for member in subdirs(&root.join("vendor"))? {
+        collect(root, &member.join("src"), Scope::Vendor, &mut files)?;
+        collect(root, &member.join("tests"), Scope::Vendor, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// The sorted immediate subdirectories of `dir` (empty if `dir` is absent).
+fn subdirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` into `files`.
+fn collect(root: &Path, dir: &Path, scope: Scope, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<Vec<PathBuf>>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(root, &path, scope, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(SourceFile {
+                rel_path: rel_path(root, &path),
+                scope,
+                source: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root` with `/` separators, for stable cross-platform
+/// ratchet keys.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        let f = |p: &str, scope| SourceFile {
+            rel_path: p.to_string(),
+            scope,
+            source: String::new(),
+        };
+        assert!(f("src/lib.rs", Scope::WorkspaceLib).is_crate_root());
+        assert!(f("crates/core/src/lib.rs", Scope::WorkspaceLib).is_crate_root());
+        assert!(f("vendor/rand/src/lib.rs", Scope::Vendor).is_crate_root());
+        assert!(!f("crates/core/src/rates.rs", Scope::WorkspaceLib).is_crate_root());
+        assert!(!f("src/bin/lib.rs", Scope::WorkspaceLib).is_crate_root());
+    }
+}

@@ -1,0 +1,127 @@
+//! The `btr-analyzer` CLI.
+//!
+//! ```text
+//! btr-analyzer check [--root DIR] [--json FILE]   # exit 1 on new findings
+//! btr-analyzer ratchet [--root DIR]               # lock in lower baselines
+//! ```
+//!
+//! `check` prints every finding (ratcheted ones marked), writes the full
+//! report as canonical `btr-wire` JSON when `--json` is given, and exits
+//! nonzero if any finding is not covered by the baseline or an allowlist.
+//! `ratchet` rewrites the `[panic-path]` section of `analyzer-ratchet.toml`
+//! from the current tree so shrunken counts become the new ceiling.
+
+use btr_analyzer::findings::Report;
+use btr_wire::Wire;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("btr-analyzer: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    command: String,
+    root: PathBuf,
+    json: Option<PathBuf>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut json = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?);
+            }
+            "--json" => {
+                json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "check" | "ratchet" if command.is_none() => command = Some(arg),
+            _ => return Err(format!("unrecognized argument {arg:?} (usage: {USAGE})")),
+        }
+    }
+    Ok(Options {
+        command: command.ok_or_else(|| format!("no command given (usage: {USAGE})"))?,
+        root,
+        json,
+    })
+}
+
+const USAGE: &str = "btr-analyzer <check [--json FILE] | ratchet> [--root DIR]";
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let opts = parse_args(args)?;
+    match opts.command.as_str() {
+        "check" => check(&opts),
+        "ratchet" => {
+            let entries = btr_analyzer::run_ratchet(&opts.root).map_err(|e| e.to_string())?;
+            println!(
+                "ratchet: wrote {} per-file counts to {}",
+                entries,
+                btr_analyzer::RATCHET_FILE
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?} (usage: {USAGE})")),
+    }
+}
+
+fn check(opts: &Options) -> Result<ExitCode, String> {
+    let report = btr_analyzer::run_check(&opts.root).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.json {
+        let json = report
+            .to_json()
+            .map_err(|e| format!("encoding findings report: {e}"))?;
+        std::fs::write(path, json.as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    print_report(&report);
+    if report.unratcheted_count() == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_report(report: &Report) {
+    for f in &report.findings {
+        let mark = if f.ratcheted { "ratcheted" } else { "NEW" };
+        if f.line > 0 {
+            println!(
+                "{}:{}: [{}/{}] {} ({mark})",
+                f.file, f.line, f.pass, f.category, f.message
+            );
+        } else {
+            println!(
+                "{}: [{}/{}] {} ({mark})",
+                f.file, f.pass, f.category, f.message
+            );
+        }
+    }
+    let ratcheted = report.findings.len() - report.unratcheted_count();
+    println!(
+        "analyzer: {} findings ({} ratcheted, {} new); ratchet debt: {} sites in {} file-categories",
+        report.findings.len(),
+        ratcheted,
+        report.unratcheted_count(),
+        report.ratchet_counts.values().sum::<u64>(),
+        report.ratchet_counts.len(),
+    );
+    if report.unratcheted_count() > 0 {
+        println!(
+            "analyzer: FAIL — fix the NEW findings above, or justify them in {}",
+            btr_analyzer::RATCHET_FILE
+        );
+    }
+}

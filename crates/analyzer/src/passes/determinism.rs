@@ -1,0 +1,128 @@
+//! `determinism`: no iteration-order-dependent containers near results.
+//!
+//! Everything this workspace serializes — sweep results, interned id tables,
+//! wire artifacts — is promised bit-identical across runs, chunkings and
+//! thread counts. `std::collections::HashMap`/`HashSet` iterate in a
+//! per-process random order (SipHash keyed per instantiation), so a map that
+//! *feeds* a result is a latent nondeterminism bug that no single test run
+//! can catch.
+//!
+//! This pass flags every `HashMap`/`HashSet` identifier in first-party
+//! library code (test modules exempt — a test-local map cannot reach a
+//! result). Sites that are provably order-independent are allowlisted in
+//! `[determinism]` with a written justification, e.g. the interner's
+//! lookup-only map whose ids come from first-appearance order (proven by
+//! `crates/trace/tests/interner_determinism.rs`). The allowlist is exact:
+//! adding a site fails until justified, removing one fails until the entry
+//! is dropped.
+
+use super::{finding, reconcile, Context, Mode};
+use crate::files::Scope;
+use crate::findings::{Finding, Report};
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// Pass name, used in findings and as the config section.
+pub const PASS: &str = "determinism";
+
+/// The flagged container type names.
+const CONSTRUCTS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Runs the pass over first-party library files.
+pub fn run(ctx: &Context<'_>, report: &mut Report) {
+    let mut found: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for lexed in ctx.files {
+        if lexed.file.scope != Scope::WorkspaceLib {
+            continue;
+        }
+        for (i, tok) in lexed.stream.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident
+                || lexed.stream.in_test[i]
+                || !CONSTRUCTS.contains(&tok.text.as_str())
+            {
+                continue;
+            }
+            let f = finding(
+                PASS,
+                &tok.text,
+                &lexed.file.rel_path,
+                tok.line,
+                format!(
+                    "{} in result-feeding library code iterates in random order",
+                    tok.text
+                ),
+            );
+            found.entry(f.key()).or_default().push(f);
+        }
+    }
+    reconcile(PASS, PASS, Mode::Allowlist, found, ctx, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::files::SourceFile;
+    use crate::lexer::TokenStream;
+    use crate::passes::LexedFile;
+    use std::path::Path;
+
+    fn run_on(source: &str, scope: Scope, config: &str) -> Report {
+        let config = Config::parse(config).expect("test config parses");
+        let files = vec![LexedFile {
+            file: SourceFile {
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                scope,
+                source: source.to_string(),
+            },
+            stream: TokenStream::lex(source),
+        }];
+        let ctx = Context {
+            root: Path::new("."),
+            files: &files,
+            config: &config,
+        };
+        let mut report = Report::default();
+        run(&ctx, &mut report);
+        report.finalize();
+        report
+    }
+
+    const TWO_SITES: &str = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u32> }\n\
+                             #[cfg(test)]\nmod tests { use std::collections::HashMap; }";
+
+    #[test]
+    fn flags_lib_sites_not_test_sites() {
+        let report = run_on(TWO_SITES, Scope::WorkspaceLib, "");
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.unratcheted_count(), 2);
+    }
+
+    #[test]
+    fn exact_allowlist_is_green_excess_and_stale_fail() {
+        let allow = "[determinism]\n# lookup-only, ids from first-appearance order\n\
+                     \"crates/x/src/lib.rs#HashMap\" = 2\n";
+        assert_eq!(
+            run_on(TWO_SITES, Scope::WorkspaceLib, allow).unratcheted_count(),
+            0
+        );
+        // A third site exceeds the allowance.
+        let three = format!("{TWO_SITES}\nfn f(x: &HashMap<u8, u8>) {{}}");
+        assert_eq!(
+            run_on(&three, Scope::WorkspaceLib, allow).unratcheted_count(),
+            1
+        );
+        // Removing all sites leaves the entry stale, which also fails.
+        let report = run_on("fn ok() {}", Scope::WorkspaceLib, allow);
+        assert_eq!(report.unratcheted_count(), 1);
+        assert!(report.findings[0].category == "stale-allowlist");
+    }
+
+    #[test]
+    fn vendor_and_test_scopes_are_out_of_scope() {
+        assert!(run_on(TWO_SITES, Scope::Vendor, "").findings.is_empty());
+        assert!(run_on(TWO_SITES, Scope::WorkspaceTest, "")
+            .findings
+            .is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! `panic-path`: ratcheted panic-site accounting for library code.
+//!
+//! Every optimization layer in this workspace promises bit-identical results
+//! on *untrusted* input — traces and wire bytes that arrive over the serving
+//! path. A stray `unwrap()` on such a path turns malformed input into a
+//! process abort. This pass counts panic sites per file and category and
+//! holds them to the checked-in baseline (`[panic-path]` in
+//! `analyzer-ratchet.toml`), whose counts may only decrease:
+//!
+//! * **`unwrap`** — `unwrap()` calls, counted *everywhere* in library source
+//!   files, `#[cfg(test)]` modules included: a bare unwrap in a test panics
+//!   with nothing but a line number, while `expect("what invariant broke")`
+//!   documents intent, so the ratchet drives both toward zero. This is the
+//!   count the PR-6 burn-down seeded at well under its initial 192 sites.
+//! * **`expect`** — `expect(…)` whose argument is not a string literal
+//!   (non-test code only): `expect(msg_var)` hides the justification from
+//!   the reader; the sanctioned form is a literal message.
+//! * **`panic`** — `panic!`, `unreachable!`, `todo!`, `unimplemented!` in
+//!   non-test code. Legitimate for documented `# Panics` contracts, hence
+//!   ratcheted rather than forbidden.
+//! * **`assert`** — `assert!`/`assert_eq!`/`assert_ne!` in non-test code
+//!   (`debug_assert!` is exempt: it vanishes in release builds and cannot
+//!   abort the serving path).
+//!
+//! Scope: workspace library sources and vendored sources. Integration tests,
+//! benches and examples are harness code and exempt.
+
+use super::{finding, reconcile, Context, Mode};
+use crate::files::Scope;
+use crate::findings::{Finding, Report};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Pass name, used in findings and as the config section.
+pub const PASS: &str = "panic-path";
+
+/// Runs the pass over every in-scope file.
+pub fn run(ctx: &Context<'_>, report: &mut Report) {
+    let mut found: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for lexed in ctx.files {
+        if !matches!(lexed.file.scope, Scope::WorkspaceLib | Scope::Vendor) {
+            continue;
+        }
+        let path = lexed.file.rel_path.as_str();
+        let tokens = &lexed.stream.tokens;
+        for (i, tok) in tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let in_test = lexed.stream.in_test[i];
+            let site = match classify(tokens, i, in_test) {
+                Some(site) => site,
+                None => continue,
+            };
+            let f = finding(
+                PASS,
+                site.category,
+                path,
+                tok.line,
+                format!("{} in {}", site.what, region(in_test)),
+            );
+            found.entry(f.key()).or_default().push(f);
+        }
+    }
+    reconcile(PASS, PASS, Mode::Ratchet, found, ctx, report);
+}
+
+struct Site {
+    category: &'static str,
+    what: String,
+}
+
+/// Classifies the identifier at `i` as a panic site, if it is one.
+fn classify(tokens: &[Token], i: usize, in_test: bool) -> Option<Site> {
+    let tok = &tokens[i];
+    let next = tokens.get(i + 1);
+    let after = tokens.get(i + 2);
+    if tok.is_ident("unwrap")
+        && next.is_some_and(|t| t.is_punct('('))
+        && after.is_some_and(|t| t.is_punct(')'))
+    {
+        return Some(Site {
+            category: "unwrap",
+            what: "`unwrap()`".to_string(),
+        });
+    }
+    if in_test {
+        return None;
+    }
+    if tok.is_ident("expect") && next.is_some_and(|t| t.is_punct('(')) {
+        // `expect("literal message")` is the sanctioned, documented form.
+        if !after.is_some_and(Token::is_string_literal) {
+            return Some(Site {
+                category: "expect",
+                what: "`expect(…)` without a literal message".to_string(),
+            });
+        }
+        return None;
+    }
+    let is_macro = next.is_some_and(|t| t.is_punct('!'));
+    if !is_macro {
+        return None;
+    }
+    if matches!(
+        tok.text.as_str(),
+        "panic" | "unreachable" | "todo" | "unimplemented"
+    ) {
+        return Some(Site {
+            category: "panic",
+            what: format!("`{}!`", tok.text),
+        });
+    }
+    if matches!(tok.text.as_str(), "assert" | "assert_eq" | "assert_ne") {
+        return Some(Site {
+            category: "assert",
+            what: format!("`{}!`", tok.text),
+        });
+    }
+    None
+}
+
+fn region(in_test: bool) -> &'static str {
+    if in_test {
+        "a #[cfg(test)] module"
+    } else {
+        "library code"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::files::SourceFile;
+    use crate::lexer::TokenStream;
+    use crate::passes::LexedFile;
+    use std::path::Path;
+
+    fn run_on(source: &str, config: &str) -> Report {
+        let config = Config::parse(config).expect("test config parses");
+        let files = vec![LexedFile {
+            file: SourceFile {
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                scope: Scope::WorkspaceLib,
+                source: source.to_string(),
+            },
+            stream: TokenStream::lex(source),
+        }];
+        let ctx = Context {
+            root: Path::new("."),
+            files: &files,
+            config: &config,
+        };
+        let mut report = Report::default();
+        run(&ctx, &mut report);
+        report.finalize();
+        report
+    }
+
+    #[test]
+    fn counts_unwrap_everywhere_but_macros_only_outside_tests() {
+        let src = "fn a() { x.unwrap(); panic!(\"boom\"); assert!(ok); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); panic!(\"fine\"); assert!(t); } }";
+        let report = run_on(src, "");
+        let by_cat = |c: &str| report.findings.iter().filter(|f| f.category == c).count();
+        assert_eq!(by_cat("unwrap"), 2, "unwrap counted in tests too");
+        assert_eq!(by_cat("panic"), 1, "panic! exempt inside #[cfg(test)]");
+        assert_eq!(by_cat("assert"), 1);
+        assert_eq!(report.unratcheted_count(), 4);
+        assert_eq!(
+            report.ratchet_counts.get("crates/x/src/lib.rs#unwrap"),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn literal_expect_passes_dynamic_expect_flagged() {
+        let src = "fn a() { x.expect(\"why it holds\"); y.expect(msg); z.expect(r#\"raw why\"#); }";
+        let report = run_on(src, "");
+        let expects: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.category == "expect")
+            .collect();
+        assert_eq!(expects.len(), 1);
+        assert_eq!(expects[0].line, 1);
+    }
+
+    #[test]
+    fn debug_assert_and_strings_are_exempt() {
+        let src = "fn a() { debug_assert!(x); let s = \"unwrap()\"; // unwrap()\n }";
+        let report = run_on(src, "");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn baseline_ratchets_and_reports_shrinkage() {
+        let src = "fn a() { x.unwrap(); }";
+        // Baseline covers 2: the single finding is ratcheted, and the
+        // shrinkage shows up as an informational stale-ratchet note.
+        let report = run_on(src, "[panic-path]\n\"crates/x/src/lib.rs#unwrap\" = 2\n");
+        assert_eq!(report.unratcheted_count(), 0);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.category == "stale-ratchet" && f.ratcheted));
+        // Baseline of 1 is exact: no stale note, still green.
+        let report = run_on(src, "[panic-path]\n\"crates/x/src/lib.rs#unwrap\" = 1\n");
+        assert_eq!(report.unratcheted_count(), 0);
+        assert_eq!(report.findings.len(), 1);
+        // No baseline: the finding fails the run.
+        let report = run_on(src, "");
+        assert_eq!(report.unratcheted_count(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! `unsafe-gate`: the workspace-wide no-`unsafe` pledge, machine-checked.
+//!
+//! The performance story of this repository (devirtualized hot paths, fused
+//! sweep arenas, SWAR plans) is deliberately built on safe Rust — the
+//! ROADMAP's bit-parallel work is scoped "without `unsafe`". Two checks keep
+//! that a property instead of a convention:
+//!
+//! * every crate root (`src/lib.rs` of the facade, each workspace member and
+//!   each vendored stand-in) must carry `#![forbid(unsafe_code)]`, so a
+//!   stray `unsafe` block is a *compile* error crate-wide;
+//! * any `unsafe` token anywhere in the tree — tests, benches and examples
+//!   included, where `forbid` attributes don't reach — is a finding unless
+//!   allowlisted in `[unsafe-gate]` with a justification. The one current
+//!   entry is the counting global-allocator shim in
+//!   `crates/sim/tests/streamed_memory.rs`, whose `GlobalAlloc` impl is
+//!   unsafe by trait contract.
+
+use super::{finding, reconcile, Context, Mode};
+use crate::findings::{Finding, Report};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Pass name, used in findings and as the config section.
+pub const PASS: &str = "unsafe-gate";
+
+/// Runs the pass over every scanned file.
+pub fn run(ctx: &Context<'_>, report: &mut Report) {
+    let mut found: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for lexed in ctx.files {
+        let path = lexed.file.rel_path.as_str();
+        for tok in &lexed.stream.tokens {
+            if tok.kind == TokenKind::Ident && tok.text == "unsafe" {
+                let f = finding(
+                    PASS,
+                    "unsafe",
+                    path,
+                    tok.line,
+                    "`unsafe` in a forbid(unsafe_code) workspace".to_string(),
+                );
+                found.entry(f.key()).or_default().push(f);
+            }
+        }
+        if lexed.file.is_crate_root() && !has_forbid_unsafe(&lexed.stream.tokens) {
+            report.findings.push(finding(
+                PASS,
+                "forbid-missing",
+                path,
+                1,
+                "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            ));
+        }
+    }
+    reconcile(PASS, PASS, Mode::Allowlist, found, ctx, report);
+}
+
+/// Whether the token sequence `# ! [ forbid ( unsafe_code ) ]` occurs.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::files::{Scope, SourceFile};
+    use crate::lexer::TokenStream;
+    use crate::passes::LexedFile;
+    use std::path::Path;
+
+    fn run_on(rel_path: &str, source: &str, config: &str) -> Report {
+        let config = Config::parse(config).expect("test config parses");
+        let files = vec![LexedFile {
+            file: SourceFile {
+                rel_path: rel_path.to_string(),
+                scope: Scope::WorkspaceTest,
+                source: source.to_string(),
+            },
+            stream: TokenStream::lex(source),
+        }];
+        let ctx = Context {
+            root: Path::new("."),
+            files: &files,
+            config: &config,
+        };
+        let mut report = Report::default();
+        run(&ctx, &mut report);
+        report.finalize();
+        report
+    }
+
+    #[test]
+    fn missing_forbid_on_crate_root_is_flagged() {
+        let report = run_on("crates/x/src/lib.rs", "//! docs\npub fn f() {}", "");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].category, "forbid-missing");
+        let ok = run_on(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+            "",
+        );
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_tokens_need_an_allowlist_entry() {
+        let src = "unsafe impl X for Y { unsafe fn f(&self) {} }";
+        let report = run_on("crates/x/tests/shim.rs", src, "");
+        assert_eq!(report.unratcheted_count(), 2);
+        let allow = "[unsafe-gate]\n# GlobalAlloc shim is unsafe by trait contract\n\
+                     \"crates/x/tests/shim.rs#unsafe\" = 2\n";
+        assert_eq!(
+            run_on("crates/x/tests/shim.rs", src, allow).unratcheted_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn unsafe_in_comments_or_strings_is_invisible() {
+        let src = "// unsafe\nlet s = \"unsafe\"; /* unsafe */ fn f() {}";
+        assert!(run_on("crates/x/tests/t.rs", src, "").findings.is_empty());
+    }
+}

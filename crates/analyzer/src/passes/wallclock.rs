@@ -1,0 +1,100 @@
+//! `no-wallclock`: result-producing code never reads the clock.
+//!
+//! Reproducibility cuts deeper than hash ordering: a result that embeds a
+//! timestamp or a measured duration differs on every run, which breaks the
+//! byte-identical artifact comparisons CI performs (`check_artifacts.py`
+//! diffs JSON against BTRW, sweep partials re-merge bit-identically, …).
+//!
+//! This pass flags `Instant` and `SystemTime` identifiers in first-party
+//! library code outside `#[cfg(test)]` modules. Timing *display* — the
+//! `[timing]` lines the `reproduce` binary prints to stderr alongside its
+//! artifacts — is legitimate and allowlisted in `[no-wallclock]` with that
+//! justification; the vendored criterion is a benchmark harness and out of
+//! scope entirely.
+
+use super::{finding, reconcile, Context, Mode};
+use crate::files::Scope;
+use crate::findings::{Finding, Report};
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// Pass name, used in findings and as the config section.
+pub const PASS: &str = "no-wallclock";
+
+/// The flagged clock-reading type names.
+const CONSTRUCTS: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Runs the pass over first-party library files.
+pub fn run(ctx: &Context<'_>, report: &mut Report) {
+    let mut found: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for lexed in ctx.files {
+        if lexed.file.scope != Scope::WorkspaceLib {
+            continue;
+        }
+        for (i, tok) in lexed.stream.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident
+                || lexed.stream.in_test[i]
+                || !CONSTRUCTS.contains(&tok.text.as_str())
+            {
+                continue;
+            }
+            let f = finding(
+                PASS,
+                &tok.text,
+                &lexed.file.rel_path,
+                tok.line,
+                format!("{} read in result-producing library code", tok.text),
+            );
+            found.entry(f.key()).or_default().push(f);
+        }
+    }
+    reconcile(PASS, PASS, Mode::Allowlist, found, ctx, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::files::SourceFile;
+    use crate::lexer::TokenStream;
+    use crate::passes::LexedFile;
+    use std::path::Path;
+
+    fn run_on(source: &str, config: &str) -> Report {
+        let config = Config::parse(config).expect("test config parses");
+        let files = vec![LexedFile {
+            file: SourceFile {
+                rel_path: "crates/x/src/timing.rs".to_string(),
+                scope: Scope::WorkspaceLib,
+                source: source.to_string(),
+            },
+            stream: TokenStream::lex(source),
+        }];
+        let ctx = Context {
+            root: Path::new("."),
+            files: &files,
+            config: &config,
+        };
+        let mut report = Report::default();
+        run(&ctx, &mut report);
+        report.finalize();
+        report
+    }
+
+    #[test]
+    fn clock_reads_are_flagged_unless_allowlisted() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(run_on(src, "").unratcheted_count(), 2);
+        let allow = "[no-wallclock]\n# timing display only, never part of a result\n\
+                     \"crates/x/src/timing.rs#Instant\" = 2\n";
+        assert_eq!(run_on(src, allow).unratcheted_count(), 0);
+    }
+
+    #[test]
+    fn comment_mentions_are_invisible() {
+        // The word "Instantiate" in a comment must not trip the lint — the
+        // grep this lexer replaces could not tell the difference.
+        let src = "fn g() {} // Instantiate processes and walk the schedule.";
+        assert!(run_on(src, "").findings.is_empty());
+    }
+}

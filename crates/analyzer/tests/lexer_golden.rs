@@ -1,0 +1,129 @@
+//! Golden-token tests for the analyzer's Rust lexer on the constructs that
+//! defeat grep-based linting: nested block comments, raw strings with hash
+//! guards, string literals *containing* lint triggers, and the char-literal
+//! versus lifetime ambiguity. Each case pins the exact token sequence (kind,
+//! text, line) so a lexer regression shows up as a golden diff, not as a
+//! mysteriously appearing or vanishing finding.
+
+use btr_analyzer::lexer::{Lit, Token, TokenKind, TokenStream};
+
+/// Renders a token as `kind:text@line` for compact golden comparison.
+/// String-ish literal text is elided (their *content* must be invisible to
+/// lints, so the goldens only pin that one literal token exists); numbers
+/// keep their spelling and lifetimes drop the leading quote.
+fn fmt(tok: &Token) -> String {
+    let (kind, text) = match &tok.kind {
+        TokenKind::Ident => ("ident", tok.text.clone()),
+        TokenKind::Lifetime => ("life", tok.text.trim_start_matches('\'').to_string()),
+        TokenKind::Literal(Lit::Str) => ("str", String::new()),
+        TokenKind::Literal(Lit::RawStr) => ("raw", String::new()),
+        TokenKind::Literal(Lit::Char) => ("char", String::new()),
+        TokenKind::Literal(Lit::Byte) => ("byte", String::new()),
+        TokenKind::Literal(Lit::ByteStr) => ("bstr", String::new()),
+        TokenKind::Literal(Lit::Num) => ("num", tok.text.clone()),
+        TokenKind::Punct(c) => return format!("p{c}:{c}@{}", tok.line),
+    };
+    format!("{kind}:{text}@{}", tok.line)
+}
+
+fn golden(source: &str) -> Vec<String> {
+    TokenStream::lex(source).tokens.iter().map(fmt).collect()
+}
+
+#[test]
+fn nested_block_comments_hide_code_and_count_lines() {
+    let src = "a /* one /* two\n*/ still comment\n*/ b";
+    assert_eq!(golden(src), vec!["ident:a@1", "ident:b@3"]);
+}
+
+#[test]
+fn raw_strings_with_hash_guards_swallow_quotes_and_unwraps() {
+    // The raw string contains `"#` sequences, an embedded `unwrap()` and a
+    // fake comment — none of it may tokenize. The guard count (##) decides
+    // where the literal really ends.
+    let src = "let s = r##\"contains \"# quote, unwrap() and // comment\"##; next()";
+    assert_eq!(
+        golden(src),
+        vec![
+            "ident:let@1",
+            "ident:s@1",
+            "p=:=@1",
+            "raw:@1",
+            "p;:;@1",
+            "ident:next@1",
+            "p(:(@1",
+            "p):)@1",
+        ]
+    );
+}
+
+#[test]
+fn string_literals_containing_lint_triggers_are_opaque() {
+    // `unwrap()`, `unsafe`, `HashMap` inside string/byte-string literals
+    // must never produce identifier tokens.
+    let src = r#"emit("call unwrap() in unsafe HashMap"); done"#;
+    assert_eq!(
+        golden(src),
+        vec![
+            "ident:emit@1",
+            "p(:(@1",
+            "str:@1",
+            "p):)@1",
+            "p;:;@1",
+            "ident:done@1",
+        ]
+    );
+}
+
+#[test]
+fn char_literals_escapes_and_lifetimes_disambiguate() {
+    let src = "let c: char = 'x'; let nl = '\\n'; fn f<'a>(v: &'a str) {} let u = '_';";
+    let toks = golden(src);
+    // The two char literals and the escape lex as chars …
+    assert_eq!(toks.iter().filter(|t| t.starts_with("char:")).count(), 3);
+    // … and both `'a` occurrences lex as lifetimes, never as chars.
+    assert_eq!(
+        toks.iter().filter(|t| t.starts_with("life:")).count(),
+        2,
+        "expected exactly the two 'a lifetimes in {toks:?}"
+    );
+    assert!(toks.contains(&"life:a@1".to_string()));
+}
+
+#[test]
+fn byte_literals_and_numbers_do_not_swallow_neighbours() {
+    let src = "let b = b'q'; let r = 0x1f..2.5e3; v[0].f()";
+    let toks = golden(src);
+    assert!(toks.contains(&"byte:@1".to_string()));
+    assert!(toks.contains(&"num:0x1f@1".to_string()));
+    // The range dots survive as punctuation between the two numbers.
+    assert_eq!(toks.iter().filter(|t| t.starts_with("p.")).count(), 3);
+    assert!(toks.contains(&"num:2.5e3@1".to_string()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_literals() {
+    // A raw string spanning three lines must not desynchronize line
+    // accounting for the tokens after it — findings point at real lines.
+    let src = "start\nlet s = r#\"line\ntwo\nthree\"#;\nafter";
+    let toks = golden(src);
+    assert!(toks.contains(&"ident:start@1".to_string()));
+    assert!(toks.contains(&"raw:@2".to_string()));
+    assert!(toks.contains(&"ident:after@5".to_string()));
+}
+
+#[test]
+fn cfg_test_mask_tracks_module_extent() {
+    let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}";
+    let stream = TokenStream::lex(src);
+    let masked: Vec<(&str, bool)> = stream
+        .tokens
+        .iter()
+        .zip(&stream.in_test)
+        .filter(|(t, _)| t.kind == TokenKind::Ident)
+        .map(|(t, &m)| (t.text.as_str(), m))
+        .collect();
+    assert!(masked.contains(&("lib", false)));
+    assert!(masked.contains(&("unwrap", true)));
+    assert!(masked.contains(&("more", false)));
+}

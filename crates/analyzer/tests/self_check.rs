@@ -1,0 +1,91 @@
+//! The analyzer eating its own dog food: `run_check` against this actual
+//! workspace must come back clean, and the findings report must round-trip
+//! through both wire codecs.
+//!
+//! Running the full check inside `cargo test` gives the ratchet teeth even
+//! without CI: introducing a fresh `unwrap()` in library code, a new
+//! `HashMap`, an `unsafe` block or an ungated `[[bench]]` target fails the
+//! tier-1 test suite right here, with the offending file and line in the
+//! assertion message.
+
+use btr_analyzer::findings::{Finding, Report};
+use btr_wire::Wire;
+use std::path::Path;
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyzer sits two levels below the workspace root")
+}
+
+#[test]
+fn the_workspace_passes_its_own_analyzer() {
+    let report = btr_analyzer::run_check(workspace_root()).expect("self-check runs");
+    let new: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| !f.ratcheted)
+        .map(|f| {
+            format!(
+                "{}:{} [{}/{}] {}",
+                f.file, f.line, f.pass, f.category, f.message
+            )
+        })
+        .collect();
+    assert!(
+        new.is_empty(),
+        "unratcheted analyzer findings — fix them or justify them in \
+         analyzer-ratchet.toml:\n{}",
+        new.join("\n")
+    );
+}
+
+#[test]
+fn unwrap_debt_stays_below_the_initial_baseline() {
+    // The pre-ratchet tree carried 213 `unwrap()` sites (192 in first-party
+    // code by the original grep survey). The baseline may only shrink; this
+    // pins the burn-down so debt can never quietly climb back over it.
+    let report = btr_analyzer::run_check(workspace_root()).expect("self-check runs");
+    let unwrap_debt: u64 = report
+        .ratchet_counts
+        .iter()
+        .filter(|(key, _)| key.ends_with("#unwrap"))
+        .map(|(_, count)| count)
+        .sum();
+    assert!(
+        unwrap_debt < 192,
+        "unwrap debt {unwrap_debt} crossed the 192-site survey figure — \
+         convert new unwrap() calls to expect(\"why\") or `?`"
+    );
+}
+
+#[test]
+fn findings_reports_roundtrip_on_both_codecs() {
+    let report = btr_analyzer::run_check(workspace_root()).expect("self-check runs");
+    assert!(
+        !report.findings.is_empty(),
+        "a ratcheted tree still reports"
+    );
+
+    let json = report.to_json().expect("report encodes as JSON");
+    let via_json = Report::from_json(&json).expect("report JSON decodes");
+    assert_eq!(via_json, report);
+
+    let via_btrw = Report::from_btrw(&report.to_btrw()).expect("report BTRW decodes");
+    assert_eq!(via_btrw, report);
+
+    // A single finding round-trips standalone too.
+    let finding = report.findings[0].clone();
+    let back = Finding::from_json(&finding.to_json().expect("finding encodes as JSON"))
+        .expect("finding JSON decodes");
+    assert_eq!(back, finding);
+    assert_eq!(
+        Finding::from_btrw(&finding.to_btrw()).expect("finding BTRW decodes"),
+        finding
+    );
+
+    // Canonical JSON: encoding is byte-stable across decode/encode cycles.
+    assert_eq!(via_json.to_json().expect("re-encode"), json);
+}

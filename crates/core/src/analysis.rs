@@ -715,16 +715,44 @@ mod tests {
         let scheme = BinningScheme::Paper11;
         let by_taken = ClassMissRates::aggregate(&profile, Metric::TakenRate, scheme, &misses);
         // Class 10 contains only the biased branch.
-        assert!((by_taken.miss_rate(ClassId(10)).unwrap() - 0.02).abs() < 1e-9);
+        assert!(
+            (by_taken
+                .miss_rate(ClassId(10))
+                .expect("class 10 holds the biased branch")
+                - 0.02)
+                .abs()
+                < 1e-9
+        );
         // Class 5 pools the hard branch and the alternator: (48 + 5) / 200.
-        assert!((by_taken.miss_rate(ClassId(5)).unwrap() - 53.0 / 200.0).abs() < 1e-9);
+        assert!(
+            (by_taken
+                .miss_rate(ClassId(5))
+                .expect("class 5 pools two branches")
+                - 53.0 / 200.0)
+                .abs()
+                < 1e-9
+        );
         assert_eq!(by_taken.miss_rate(ClassId(3)), None);
 
         let by_transition =
             ClassMissRates::aggregate(&profile, Metric::TransitionRate, scheme, &misses);
         // Transition class 10 isolates the alternator: 5/100.
-        assert!((by_transition.miss_rate(ClassId(10)).unwrap() - 0.05).abs() < 1e-9);
-        assert!((by_transition.overall_miss_rate().unwrap() - 55.0 / 300.0).abs() < 1e-9);
+        assert!(
+            (by_transition
+                .miss_rate(ClassId(10))
+                .expect("transition class 10 holds the alternator")
+                - 0.05)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (by_transition
+                .overall_miss_rate()
+                .expect("profile has executions")
+                - 55.0 / 300.0)
+                .abs()
+                < 1e-9
+        );
         assert_eq!(by_transition.miss_rates().len(), 11);
     }
 
@@ -747,13 +775,31 @@ mod tests {
         );
         let matrix = ClassHistoryMatrix::from_runs(&[(0, h0), (2, h2)]);
         assert_eq!(matrix.history_lengths(), &[0, 2]);
-        assert!((matrix.miss_at(ClassId(10), 0).unwrap() - 0.98).abs() < 1e-9);
-        assert!((matrix.miss_at(ClassId(10), 2).unwrap() - 0.02).abs() < 1e-9);
-        let (best_h, best_rate) = matrix.optimal_history(ClassId(10)).unwrap();
+        assert!(
+            (matrix
+                .miss_at(ClassId(10), 0)
+                .expect("history 0 recorded for class 10")
+                - 0.98)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (matrix
+                .miss_at(ClassId(10), 2)
+                .expect("history 2 recorded for class 10")
+                - 0.02)
+                .abs()
+                < 1e-9
+        );
+        let (best_h, best_rate) = matrix
+            .optimal_history(ClassId(10))
+            .expect("class 10 has an optimum");
         assert_eq!(best_h, 2);
         assert!((best_rate - 0.02).abs() < 1e-9);
         // Class 0 (the biased branch) prefers zero history here.
-        let (best_h0, _) = matrix.optimal_history(ClassId(0)).unwrap();
+        let (best_h0, _) = matrix
+            .optimal_history(ClassId(0))
+            .expect("class 0 has an optimum");
         assert_eq!(best_h0, 0);
         assert_eq!(matrix.optimal_miss_rates().len(), 11);
         assert_eq!(matrix.miss_at(ClassId(10), 7), None);
@@ -776,10 +822,24 @@ mod tests {
         ];
         let matrix = JointMissMatrix::from_history_runs(&profile, scheme, &runs);
         // The 5/5 cell keeps its best (still bad) rate.
-        assert!((matrix.miss_at(ClassId(5), ClassId(5)).unwrap() - 0.48).abs() < 1e-9);
+        assert!(
+            (matrix
+                .miss_at(ClassId(5), ClassId(5))
+                .expect("5/5 cell is populated")
+                - 0.48)
+                .abs()
+                < 1e-9
+        );
         // The alternator cell takes the history-2 rate.
-        assert!((matrix.miss_at(ClassId(5), ClassId(10)).unwrap() - 0.03).abs() < 1e-9);
-        let (taken, transition, rate) = matrix.worst_cell().unwrap();
+        assert!(
+            (matrix
+                .miss_at(ClassId(5), ClassId(10))
+                .expect("5/10 cell is populated")
+                - 0.03)
+                .abs()
+                < 1e-9
+        );
+        let (taken, transition, rate) = matrix.worst_cell().expect("matrix has populated cells");
         assert_eq!((taken, transition), (ClassId(5), ClassId(5)));
         assert!(rate > 0.4);
         assert_eq!(matrix.miss_at(ClassId(3), ClassId(3)), None);
@@ -811,15 +871,25 @@ mod tests {
     #[test]
     fn miss_maps_roundtrip_and_validate_on_the_wire() {
         let map = miss_map(&[(0x10, 100, 98), (0x20, 100, 52), (u64::MAX, 7, 0)]);
-        let back = miss_map_from_value(&miss_map_to_value(&map)).unwrap();
+        let back =
+            miss_map_from_value(&miss_map_to_value(&map)).expect("round-tripped miss map decodes");
         assert_eq!(back, map);
         // Through both codecs via the schemaless Value impl.
         let value = miss_map_to_value(&map);
-        let via_json =
-            btr_wire::json::from_str(&btr_wire::json::to_string(&value).unwrap()).unwrap();
-        assert_eq!(miss_map_from_value(&via_json).unwrap(), map);
-        let via_btrw = btr_wire::btrw::from_bytes(&btr_wire::btrw::to_bytes(&value)).unwrap();
-        assert_eq!(miss_map_from_value(&via_btrw).unwrap(), map);
+        let via_json = btr_wire::json::from_str(
+            &btr_wire::json::to_string(&value).expect("miss map encodes as JSON"),
+        )
+        .expect("canonical JSON parses");
+        assert_eq!(
+            miss_map_from_value(&via_json).expect("JSON round trip decodes"),
+            map
+        );
+        let via_btrw = btr_wire::btrw::from_bytes(&btr_wire::btrw::to_bytes(&value))
+            .expect("BTRW round trip parses");
+        assert_eq!(
+            miss_map_from_value(&via_btrw).expect("BTRW round trip decodes"),
+            map
+        );
         // hits > lookups and duplicate addresses are rejected.
         let bad = MapBuilder::new()
             .field("addrs", vec![1u64])
@@ -853,11 +923,12 @@ mod tests {
         );
         let matrix = ClassHistoryMatrix::from_runs(&[(0, h0), (2, h2)]);
         assert_eq!(
-            ClassHistoryMatrix::from_json(&matrix.to_json().unwrap()).unwrap(),
+            ClassHistoryMatrix::from_json(&matrix.to_json().expect("matrix encodes as JSON"))
+                .expect("matrix JSON decodes"),
             matrix
         );
         assert_eq!(
-            ClassHistoryMatrix::from_btrw(&matrix.to_btrw()).unwrap(),
+            ClassHistoryMatrix::from_btrw(&matrix.to_btrw()).expect("matrix BTRW decodes"),
             matrix
         );
 
@@ -873,19 +944,26 @@ mod tests {
         ];
         let joint = JointMissMatrix::from_history_runs(&profile, scheme, &runs);
         assert_eq!(
-            JointMissMatrix::from_json(&joint.to_json().unwrap()).unwrap(),
+            JointMissMatrix::from_json(&joint.to_json().expect("joint matrix encodes as JSON"))
+                .expect("joint matrix JSON decodes"),
             joint
         );
-        assert_eq!(JointMissMatrix::from_btrw(&joint.to_btrw()).unwrap(), joint);
+        assert_eq!(
+            JointMissMatrix::from_btrw(&joint.to_btrw()).expect("joint matrix BTRW decodes"),
+            joint
+        );
 
         let table = JointClassTable::from_profile(&profile, scheme);
         let analysis = ClassificationAnalysis::from_table(&table);
         assert_eq!(
-            ClassificationAnalysis::from_json(&analysis.to_json().unwrap()).unwrap(),
+            ClassificationAnalysis::from_json(
+                &analysis.to_json().expect("analysis encodes as JSON")
+            )
+            .expect("analysis JSON decodes"),
             analysis
         );
         assert_eq!(
-            ClassificationAnalysis::from_btrw(&analysis.to_btrw()).unwrap(),
+            ClassificationAnalysis::from_btrw(&analysis.to_btrw()).expect("analysis BTRW decodes"),
             analysis
         );
         // A wrong-shaped rate grid is rejected.

@@ -335,7 +335,7 @@ mod tests {
         assert_eq!(result.family(), PredictorFamily::PAs);
         assert!(result.per_branch(2).is_some());
         assert!(result.per_branch(9).is_none());
-        assert!(result.overall_miss_rate(0).unwrap() > 0.0);
+        assert!(result.overall_miss_rate(0).expect("history 0 was swept") > 0.0);
         assert_eq!(result.runs().len(), 3);
     }
 
@@ -348,17 +348,28 @@ mod tests {
         let matrix =
             result.class_history_matrix(&profile, Metric::TransitionRate, BinningScheme::Paper11);
         // Transition class 10 (the alternator): terrible with 0 history, great with >= 1.
-        let at0 = matrix.miss_at(ClassId(10), 0).unwrap();
-        let at2 = matrix.miss_at(ClassId(10), 2).unwrap();
+        let at0 = matrix
+            .miss_at(ClassId(10), 0)
+            .expect("class 10 seen at history 0");
+        let at2 = matrix
+            .miss_at(ClassId(10), 2)
+            .expect("class 10 seen at history 2");
         assert!(at0 > 0.4, "history 0 should fail on alternation, got {at0}");
         assert!(
             at2 < 0.05,
             "history 2 should capture alternation, got {at2}"
         );
-        let (best, _) = matrix.optimal_history(ClassId(10)).unwrap();
+        let (best, _) = matrix
+            .optimal_history(ClassId(10))
+            .expect("class 10 has an optimum");
         assert!(best >= 1);
         // Transition class 0 (the biased branch) is fine even with 0 history.
-        assert!(matrix.miss_at(ClassId(0), 0).unwrap() < 0.1);
+        assert!(
+            matrix
+                .miss_at(ClassId(0), 0)
+                .expect("class 0 seen at history 0")
+                < 0.1
+        );
     }
 
     #[test]
@@ -368,7 +379,7 @@ mod tests {
         let sweep = HistorySweep::new(PredictorFamily::GAs, vec![0, 4, 8]);
         let result = sweep.run(&[&trace]);
         let joint = result.joint_miss_matrix(&profile, BinningScheme::Paper11);
-        let (taken, transition, rate) = joint.worst_cell().unwrap();
+        let (taken, transition, rate) = joint.worst_cell().expect("matrix has populated cells");
         // The coin-flip branch lives near the 5/5 centre and stays near 50%.
         assert!(
             (4..=6).contains(&taken.index()),
@@ -386,13 +397,13 @@ mod tests {
         let double = sweep.run(&[&trace, &trace]);
         let single_lookups: u64 = single
             .per_branch(2)
-            .unwrap()
+            .expect("history 2 was swept")
             .values()
             .map(|s| s.lookups)
             .sum();
         let double_lookups: u64 = double
             .per_branch(2)
-            .unwrap()
+            .expect("history 2 was swept")
             .values()
             .map(|s| s.lookups)
             .sum();
@@ -422,10 +433,14 @@ mod tests {
         // Unsorted history order must survive the round-trip verbatim.
         let sweep = HistorySweep::new(PredictorFamily::GAs, vec![4, 0, 2]);
         let result = sweep.run(&[&trace]);
-        let via_json = SweepResult::from_json(&result.to_json().unwrap()).unwrap();
+        let via_json = SweepResult::from_json(&result.to_json().expect("sweep encodes as JSON"))
+            .expect("sweep JSON decodes");
         assert_eq!(via_json, result);
         assert_eq!(via_json.history_lengths(), vec![4, 0, 2]);
-        assert_eq!(SweepResult::from_btrw(&result.to_btrw()).unwrap(), result);
+        assert_eq!(
+            SweepResult::from_btrw(&result.to_btrw()).expect("sweep BTRW decodes"),
+            result
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Regression proof that [`IncrementalInterner`]'s internal `HashMap` cannot
+//! leak hash-order nondeterminism into results.
+//!
+//! The interner is the one `HashMap` in first-party library code (registered
+//! in `analyzer-ratchet.toml` under `[determinism]`). Its defence is
+//! structural: the map is used for *lookup only* — ids come from
+//! `addrs.len()` at first appearance, and every output (`addrs()`,
+//! `static_count()`, the ids on interned records) derives from the
+//! insertion-ordered `Vec`, never from map iteration. These tests pin that
+//! property against a reference interner containing no hash map at all, so
+//! any future change that starts iterating the map (or keying ids off it)
+//! diverges from the reference on some input.
+
+use btr_trace::{BranchAddr, IncrementalInterner};
+
+/// The specification interner: an O(n²) linear scan over an append-only
+/// `Vec`. No hashing anywhere, so its output is *definitionally* independent
+/// of hash order: the id of an address is the index of its first appearance.
+#[derive(Default)]
+struct ReferenceInterner {
+    addrs: Vec<BranchAddr>,
+}
+
+impl ReferenceInterner {
+    fn intern(&mut self, addr: BranchAddr) -> u32 {
+        if let Some(pos) = self.addrs.iter().position(|a| *a == addr) {
+            return u32::try_from(pos).expect("reference table fits in u32");
+        }
+        self.addrs.push(addr);
+        u32::try_from(self.addrs.len() - 1).expect("reference table fits in u32")
+    }
+}
+
+/// Tiny deterministic xorshift so sequences are reproducible across runs and
+/// platforms without depending on any RNG crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Runs one address sequence through both interners and asserts identical
+/// ids and identical id → address tables.
+fn assert_matches_reference(addrs: &[BranchAddr]) {
+    let mut real = IncrementalInterner::new();
+    let mut reference = ReferenceInterner::default();
+    for &addr in addrs {
+        assert_eq!(
+            real.intern(addr),
+            reference.intern(addr),
+            "id mismatch at address {addr:?}"
+        );
+    }
+    assert_eq!(real.static_count(), reference.addrs.len());
+    assert_eq!(real.addrs(), reference.addrs.as_slice());
+    assert_eq!(real.into_addrs(), reference.addrs);
+}
+
+#[test]
+fn matches_mapless_reference_on_adversarial_sequences() {
+    // Hand-picked shapes: heavy duplication, monotone, reversed, and
+    // addresses engineered to collide in low bits (the default hasher's
+    // bucket choice must not matter).
+    let dup_heavy: Vec<BranchAddr> = (0..200u64).map(|i| BranchAddr::new(i % 5)).collect();
+    let monotone: Vec<BranchAddr> = (0..100u64).map(|i| BranchAddr::new(i * 4)).collect();
+    let reversed: Vec<BranchAddr> = (0..100u64).rev().map(|i| BranchAddr::new(i * 4)).collect();
+    let low_bit_colliders: Vec<BranchAddr> = (0..64u64).map(|i| BranchAddr::new(i << 32)).collect();
+    for seq in [dup_heavy, monotone, reversed, low_bit_colliders] {
+        assert_matches_reference(&seq);
+    }
+}
+
+#[test]
+fn matches_mapless_reference_on_random_duplicate_shuffles() {
+    // Many random sequences over a small address pool: every permutation of
+    // duplicates must produce ids in first-appearance order, exactly as the
+    // linear-scan reference does.
+    for seed in 1..=64u64 {
+        let mut rng = XorShift(seed);
+        let pool: Vec<BranchAddr> = (0..17u64).map(|_| BranchAddr::new(rng.next())).collect();
+        let seq: Vec<BranchAddr> = (0..500)
+            .map(|_| pool[(rng.next() % pool.len() as u64) as usize])
+            .collect();
+        assert_matches_reference(&seq);
+    }
+}
+
+#[test]
+fn batch_splits_never_change_ids() {
+    // The incremental contract: interning a sequence in arbitrary batch
+    // splits yields the same ids as one shot — ids depend only on the
+    // record sequence, not on chunking (or on anything the map remembers
+    // across batches).
+    let mut rng = XorShift(0x9E3779B97F4A7C15);
+    let seq: Vec<BranchAddr> = (0..600).map(|_| BranchAddr::new(rng.next() % 41)).collect();
+    let mut one_shot = IncrementalInterner::new();
+    let expected: Vec<u32> = seq.iter().map(|&a| one_shot.intern(a)).collect();
+    for split_seed in 1..=16u64 {
+        let mut split_rng = XorShift(split_seed);
+        let mut chunked = IncrementalInterner::new();
+        let mut ids = Vec::with_capacity(seq.len());
+        let mut rest = seq.as_slice();
+        while !rest.is_empty() {
+            let take = ((split_rng.next() % 97) as usize + 1).min(rest.len());
+            let (batch, tail) = rest.split_at(take);
+            ids.extend(batch.iter().map(|&a| chunked.intern(a)));
+            rest = tail;
+        }
+        assert_eq!(ids, expected, "split seed {split_seed} changed ids");
+        assert_eq!(chunked.addrs(), one_shot.addrs());
+    }
+}

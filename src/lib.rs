@@ -33,6 +33,8 @@
 //! assert!(table.total_percentage() > 99.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use btr_core as core;
 pub use btr_predictors as predictors;
 pub use btr_sim as sim;
