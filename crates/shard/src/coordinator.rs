@@ -1,0 +1,360 @@
+//! The sharded-sweep coordinator: dispatches work units to workers, commits
+//! their checkpoints to the manifest, re-issues failures and stragglers with
+//! capped exponential backoff, and re-merges the partials into a final
+//! [`SweepResult`] that is bit-identical to the sequential reference.
+//!
+//! ## Scheduling model
+//!
+//! The coordinator keeps at most `max_workers` attempts in flight. Each
+//! finished attempt (clean exit, crash, or deadline kill) is *settled* by
+//! validating the unit's checkpoint on disk — never by trusting the exit
+//! code — so a worker that committed and then crashed still counts as done.
+//! Invalid (torn/corrupt/missing) checkpoints re-queue the unit with
+//! [`backoff_delay`] applied, until `retry_budget` consecutive failures
+//! exhaust it.
+//!
+//! ## Merge determinism
+//!
+//! Unit ids are contiguous per history group ([`SweepSpec::plan_units`]),
+//! so the merge folds each group's partials in unit-id order, concatenates
+//! the groups' parts and reassembles with [`SweepResult::from_parts`]. All
+//! per-counter merges are `u64` additions over disjoint windows, so the
+//! result is independent of which attempt produced each partial.
+
+use crate::error::{Result, ShardError};
+use crate::fault::FaultPlan;
+use crate::manifest::{Manifest, OutDir};
+use crate::unit::{SweepSpec, UnitSpec};
+use crate::worker;
+use btr_sim::sweep::SweepResult;
+use btr_wire::Wire;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How the coordinator executes a work unit.
+#[derive(Debug, Clone)]
+pub enum Launcher {
+    /// Spawn the `btr-shard-worker` binary at the given path, one process
+    /// per attempt. Workers inherit the environment, so a `BTR_FAULT` plan
+    /// set on the coordinator reaches them.
+    Process {
+        /// Path of the worker executable.
+        worker: PathBuf,
+    },
+    /// Execute units synchronously inside the coordinator process (used by
+    /// benches and tests that do not want process overhead). Faults come
+    /// from [`CoordinatorConfig::fault_plan`]; an injected stall behaves
+    /// like a deadline-killed straggler (no commit, immediate failure).
+    InProcess,
+}
+
+/// Tunables for one coordinator run.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Maximum attempts in flight at once (at least 1).
+    pub max_workers: usize,
+    /// Per-attempt deadline; process workers still running past it are
+    /// killed and settled as failures (the straggler path).
+    pub unit_deadline: Duration,
+    /// Backoff after the first failure of a unit.
+    pub backoff_base: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+    /// Consecutive failures of one unit tolerated before the run aborts
+    /// with [`ShardError::RetryBudgetExhausted`].
+    pub retry_budget: u32,
+    /// Stop with [`ShardError::Interrupted`] after this many manifest
+    /// commits (simulates coordinator preemption; `resume` finishes the
+    /// sweep).
+    pub max_commits: Option<u64>,
+    /// How units are executed.
+    pub launcher: Launcher,
+    /// Fault plan applied to unit execution: the in-process launcher
+    /// consults it directly, and process workers receive it as their
+    /// `BTR_FAULT` environment variable. When unset, process workers keep
+    /// whatever `BTR_FAULT` the coordinator itself inherited.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            max_workers: 2,
+            unit_deadline: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            retry_budget: 5,
+            max_commits: None,
+            launcher: Launcher::InProcess,
+            fault_plan: None,
+        }
+    }
+}
+
+/// The delay before re-issuing a unit that has failed `failures` times:
+/// `base * 2^(failures-1)`, saturating at `cap`.
+pub fn backoff_delay(failures: u32, base: Duration, cap: Duration) -> Duration {
+    let doublings = failures.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << doublings).min(cap)
+}
+
+/// One in-flight process attempt.
+struct Slot {
+    unit_id: u32,
+    child: Child,
+    /// Offset from the drive loop's epoch after which the attempt is a
+    /// straggler and gets killed.
+    kill_at: Duration,
+}
+
+/// Drives a sharded sweep to completion against an output directory.
+pub struct Coordinator {
+    dir: OutDir,
+    config: CoordinatorConfig,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over an output directory.
+    pub fn new(dir: OutDir, config: CoordinatorConfig) -> Self {
+        Coordinator { dir, config }
+    }
+
+    /// The output directory this coordinator drives.
+    pub fn dir(&self) -> &OutDir {
+        &self.dir
+    }
+
+    /// Starts a fresh sweep: plans units, persists the manifest and unit
+    /// specs, then drives every unit to completion and merges the final
+    /// result. Refuses to clobber a directory that already holds a sweep.
+    pub fn run(&self, spec: SweepSpec) -> Result<SweepResult> {
+        spec.validate()?;
+        self.dir.init()?;
+        if self.dir.manifest_path().exists() {
+            return Err(ShardError::bad_manifest(format!(
+                "{} already holds a sweep; resume it instead",
+                self.dir.root().display()
+            )));
+        }
+        let units = spec.plan_units()?;
+        self.dir.write_unit_specs(&units)?;
+        let manifest = Manifest::new(spec);
+        manifest.save(&self.dir)?;
+        self.drive(manifest, &units)
+    }
+
+    /// Resumes a sweep from its manifest: reconciles the manifest against
+    /// the checkpoints actually on disk (adopting valid partials a killed
+    /// coordinator never recorded, re-opening units whose checkpoints are
+    /// torn or missing), then drives only the incomplete units.
+    pub fn resume(&self) -> Result<SweepResult> {
+        let mut manifest = Manifest::load(&self.dir)?;
+        let units = manifest.spec.plan_units()?;
+        self.dir.init()?;
+        self.dir.write_unit_specs(&units)?;
+        if manifest.reconcile(&self.dir, &units) {
+            manifest.save(&self.dir)?;
+        }
+        self.drive(manifest, &units)
+    }
+
+    fn drive(&self, mut manifest: Manifest, units: &[UnitSpec]) -> Result<SweepResult> {
+        let total = units.len();
+        // Wall-clock is confined to scheduling (straggler deadlines and
+        // backoff pacing); nothing time-derived enters results or artifacts.
+        let epoch = Instant::now();
+        let mut pending: BTreeMap<u32, Duration> = units
+            .iter()
+            .filter(|u| !manifest.completed.contains(&u.unit_id))
+            .map(|u| (u.unit_id, Duration::ZERO))
+            .collect();
+        let mut failures: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut running: Vec<Slot> = Vec::new();
+        let mut finished: Vec<u32> = Vec::new();
+        let mut commits: u64 = 0;
+
+        loop {
+            // Reap exited workers and kill stragglers past their deadline.
+            let now = epoch.elapsed();
+            let mut alive: Vec<Slot> = Vec::new();
+            for mut slot in running.drain(..) {
+                let done = match slot.child.try_wait() {
+                    Ok(Some(_)) | Err(_) => true,
+                    Ok(None) if now >= slot.kill_at => {
+                        let _ = slot.child.kill();
+                        let _ = slot.child.wait();
+                        true
+                    }
+                    Ok(None) => false,
+                };
+                if done {
+                    finished.push(slot.unit_id);
+                } else {
+                    alive.push(slot);
+                }
+            }
+            running = alive;
+
+            // Settle finished attempts by validating the checkpoint on disk.
+            for unit_id in std::mem::take(&mut finished) {
+                let unit = &units[unit_id as usize];
+                if self.dir.load_partial(unit).is_ok() {
+                    if manifest.completed.insert(unit_id) {
+                        manifest.save(&self.dir)?;
+                        commits += 1;
+                        let quota_hit = self
+                            .config
+                            .max_commits
+                            .is_some_and(|quota| commits >= quota);
+                        if quota_hit && manifest.completed.len() < total {
+                            kill_all(&mut running);
+                            return Err(ShardError::Interrupted {
+                                completed: manifest.completed.len(),
+                                total,
+                            });
+                        }
+                    }
+                } else {
+                    // Torn, corrupt, or absent checkpoint: clear any debris
+                    // and re-queue the unit with backoff.
+                    let _ = std::fs::remove_file(self.dir.partial_path(unit_id));
+                    let count = failures.get(&unit_id).copied().unwrap_or(0) + 1;
+                    failures.insert(unit_id, count);
+                    if count > self.config.retry_budget {
+                        kill_all(&mut running);
+                        return Err(ShardError::RetryBudgetExhausted {
+                            unit_id,
+                            attempts: count,
+                        });
+                    }
+                    let delay =
+                        backoff_delay(count, self.config.backoff_base, self.config.backoff_cap);
+                    pending.insert(unit_id, epoch.elapsed() + delay);
+                }
+            }
+
+            // Issue ready units into free slots (lowest unit id first).
+            while running.len() < self.config.max_workers.max(1) {
+                let now = epoch.elapsed();
+                let Some(unit_id) = pending
+                    .iter()
+                    .find(|(_, ready_at)| **ready_at <= now)
+                    .map(|(id, _)| *id)
+                else {
+                    break;
+                };
+                pending.remove(&unit_id);
+                let unit = &units[unit_id as usize];
+                let attempt = failures.get(&unit_id).copied().unwrap_or(0);
+                match &self.config.launcher {
+                    Launcher::Process { worker } => {
+                        let mut command = Command::new(worker);
+                        command
+                            .arg(self.dir.unit_path(unit_id))
+                            .arg(self.dir.root())
+                            .arg(attempt.to_string())
+                            .stdout(Stdio::null());
+                        // An explicit plan overrides whatever BTR_FAULT the
+                        // coordinator inherited, so tests inject faults
+                        // without touching the global environment.
+                        if let Some(plan) = &self.config.fault_plan {
+                            command.env(crate::fault::FAULT_ENV, plan.to_env_string());
+                        }
+                        let child = command
+                            .spawn()
+                            .map_err(|e| ShardError::WorkerSpawn { unit_id, source: e })?;
+                        running.push(Slot {
+                            unit_id,
+                            child,
+                            kill_at: now + self.config.unit_deadline,
+                        });
+                    }
+                    Launcher::InProcess => {
+                        let fault = self
+                            .config
+                            .fault_plan
+                            .as_ref()
+                            .and_then(|p| p.decide(unit_id, attempt));
+                        // Nonce folds the attempt in so racing temp files of
+                        // one unit never collide.
+                        worker::execute_and_commit(&self.dir, unit, fault, attempt)?;
+                        finished.push(unit_id);
+                    }
+                }
+            }
+
+            if running.is_empty() && finished.is_empty() {
+                if pending.is_empty() {
+                    break;
+                }
+                // Everything left is backing off; doze until the earliest
+                // unit is ready again.
+                let now = epoch.elapsed();
+                let until_ready = pending
+                    .values()
+                    .map(|ready_at| ready_at.saturating_sub(now))
+                    .min()
+                    .unwrap_or(Duration::ZERO);
+                std::thread::sleep(
+                    until_ready.clamp(Duration::from_millis(1), Duration::from_millis(50)),
+                );
+            } else if !running.is_empty() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.merge(&manifest, units)
+    }
+
+    /// Folds every unit's validated checkpoint into the final result:
+    /// per-group merges in unit-id order, group parts concatenated and
+    /// reassembled. The final result carries no source labels, so its
+    /// encoding is byte-comparable to the sequential reference's.
+    fn merge(&self, manifest: &Manifest, units: &[UnitSpec]) -> Result<SweepResult> {
+        let spec = &manifest.spec;
+        let per_group = spec.benchmarks.len() * spec.window_count as usize;
+        let mut parts = Vec::new();
+        for chunk in units.chunks(per_group.max(1)) {
+            let mut merged: Option<SweepResult> = None;
+            for unit in chunk {
+                let partial = self.dir.load_partial(unit)?;
+                match &mut merged {
+                    None => merged = Some(partial),
+                    Some(m) => m.merge(&partial),
+                }
+            }
+            if let Some(m) = merged {
+                parts.extend(m.into_parts().1);
+            }
+        }
+        let final_result = SweepResult::from_parts(spec.family, parts);
+        self.dir
+            .write_atomic(&self.dir.final_path(), &final_result.to_btrw(), 0)?;
+        Ok(final_result)
+    }
+}
+
+fn kill_all(running: &mut Vec<Slot>) {
+    for mut slot in running.drain(..) {
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_base_and_saturates_at_cap() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(1);
+        assert_eq!(backoff_delay(1, base, cap), Duration::from_millis(25));
+        assert_eq!(backoff_delay(2, base, cap), Duration::from_millis(50));
+        assert_eq!(backoff_delay(3, base, cap), Duration::from_millis(100));
+        assert_eq!(backoff_delay(7, base, cap), cap, "saturates at the cap");
+        assert_eq!(backoff_delay(40, base, cap), cap, "huge counts stay capped");
+        assert_eq!(backoff_delay(0, base, cap), base, "zero failures -> base");
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic fault injection for the sharded runner.
+//!
+//! A [`FaultPlan`] is parsed from the `BTR_FAULT` environment variable (or
+//! built directly) and decides, as a pure function of its seed and a
+//! `(unit, attempt)` pair, whether that execution attempt suffers a fault
+//! and which [`FaultKind`] it is. The decision is derived from a splitmix64
+//! hash, so a plan replays identically across processes and machines: the
+//! convergence tests and the CI crash-recovery gate rely on every injected
+//! failure being reproducible from the seed alone.
+//!
+//! By default a plan fires only on a unit's *first* attempt
+//! (`max_faults_per_unit = 1`), so retries always converge; raising the
+//! limit past the coordinator's retry budget forces budget exhaustion.
+
+use crate::error::ShardError;
+use std::fmt;
+
+/// Environment variable carrying the fault plan to worker processes.
+pub const FAULT_ENV: &str = "BTR_FAULT";
+
+/// The failure modes the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker exits after simulating but before writing any checkpoint:
+    /// the classic mid-unit crash.
+    CrashBeforeCommit,
+    /// Worker commits a valid checkpoint, then exits nonzero: the
+    /// coordinator must adopt the partial (first-committed wins) instead of
+    /// re-running it.
+    CrashAfterCommit,
+    /// Worker writes a truncated checkpoint directly to the final path,
+    /// simulating a torn write on a filesystem without atomic rename.
+    TornWrite,
+    /// Worker commits a checkpoint with flipped payload bits and exits
+    /// successfully; only decode-time validation can catch it.
+    CorruptPartial,
+    /// Worker hangs without committing until the coordinator's per-unit
+    /// deadline kills it: the straggler path.
+    Stall,
+}
+
+impl FaultKind {
+    /// Every kind, in parse-name order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CrashBeforeCommit,
+        FaultKind::CrashAfterCommit,
+        FaultKind::TornWrite,
+        FaultKind::CorruptPartial,
+        FaultKind::Stall,
+    ];
+
+    /// The name used in `BTR_FAULT` kind lists.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CrashBeforeCommit => "crash-before",
+            FaultKind::CrashAfterCommit => "crash-after",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::CorruptPartial => "corrupt",
+            FaultKind::Stall => "stall",
+        }
+    }
+
+    fn parse(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A seed-driven schedule of injected faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed every fault decision derives from.
+    pub seed: u64,
+    /// Probability (0–100) that a given `(unit, attempt)` faults.
+    pub percent: u8,
+    /// Kinds to draw from (uniformly, seed-driven).
+    pub kinds: Vec<FaultKind>,
+    /// Faults fire only while `attempt < max_faults_per_unit`, so a plan
+    /// with the default of 1 always converges under retry.
+    pub max_faults_per_unit: u32,
+    /// How long a [`FaultKind::Stall`] hangs before giving up, in
+    /// milliseconds (workers killed by the deadline never reach the end).
+    pub stall_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting every kind on every unit's first attempt.
+    pub fn every_first_attempt(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            percent: 100,
+            kinds: FaultKind::ALL.to_vec(),
+            max_faults_per_unit: 1,
+            stall_ms: 60_000,
+        }
+    }
+
+    /// Parses the `key=value` comma list used by `BTR_FAULT`, e.g.
+    /// `seed=42,percent=100,kinds=crash-before+stall,max=1,stall-ms=5000`.
+    /// Kinds default to all, percent to 100, max to 1.
+    pub fn parse(text: &str) -> Result<Self, ShardError> {
+        let mut plan = FaultPlan::every_first_attempt(0);
+        for part in text.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| bad_plan(format!("expected key=value, got {part:?}")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => plan.seed = parse_u64(key, value)?,
+                "percent" => {
+                    let p = parse_u64(key, value)?;
+                    if p > 100 {
+                        return Err(bad_plan(format!("percent {p} exceeds 100")));
+                    }
+                    plan.percent = p as u8;
+                }
+                "max" => plan.max_faults_per_unit = parse_u64(key, value)? as u32,
+                "stall-ms" => plan.stall_ms = parse_u64(key, value)?,
+                "kinds" => {
+                    plan.kinds = value
+                        .split('+')
+                        .map(|name| {
+                            FaultKind::parse(name.trim())
+                                .ok_or_else(|| bad_plan(format!("unknown fault kind {name:?}")))
+                        })
+                        .collect::<Result<Vec<FaultKind>, ShardError>>()?;
+                }
+                other => return Err(bad_plan(format!("unknown fault plan key {other:?}"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from [`FAULT_ENV`]; `Ok(None)` when unset or empty.
+    pub fn from_env() -> Result<Option<Self>, ShardError> {
+        match std::env::var(FAULT_ENV) {
+            Ok(text) if !text.trim().is_empty() => FaultPlan::parse(&text).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Renders the plan back to its `BTR_FAULT` string form.
+    pub fn to_env_string(&self) -> String {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<&str>>()
+            .join("+");
+        format!(
+            "seed={},percent={},kinds={},max={},stall-ms={}",
+            self.seed, self.percent, kinds, self.max_faults_per_unit, self.stall_ms
+        )
+    }
+
+    /// The fault (if any) injected into attempt `attempt` of unit
+    /// `unit_id` — a pure function of the plan.
+    pub fn decide(&self, unit_id: u32, attempt: u32) -> Option<FaultKind> {
+        if attempt >= self.max_faults_per_unit || self.kinds.is_empty() || self.percent == 0 {
+            return None;
+        }
+        let h = splitmix64(
+            self.seed ^ (u64::from(unit_id) << 32) ^ u64::from(attempt).wrapping_mul(0x9e37),
+        );
+        if (h % 100) >= u64::from(self.percent) {
+            return None;
+        }
+        Some(self.kinds[((h / 100) % self.kinds.len() as u64) as usize])
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, ShardError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| bad_plan(format!("{key} wants an unsigned integer, got {value:?}")))
+}
+
+fn bad_plan(reason: String) -> ShardError {
+    ShardError::InvalidSpec {
+        reason: format!("fault plan: {reason}"),
+    }
+}
+
+/// The splitmix64 mixing function: a full-period bijection with good
+/// avalanche behaviour, used here purely as a deterministic hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_roundtrip_through_the_env_string() {
+        let plan = FaultPlan {
+            seed: 99,
+            percent: 40,
+            kinds: vec![FaultKind::TornWrite, FaultKind::Stall],
+            max_faults_per_unit: 2,
+            stall_ms: 1234,
+        };
+        let reparsed = FaultPlan::parse(&plan.to_env_string()).expect("rendered plan parses");
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_respect_the_attempt_limit() {
+        let plan = FaultPlan::every_first_attempt(7);
+        for unit in 0..50 {
+            assert_eq!(plan.decide(unit, 0), plan.decide(unit, 0));
+            assert!(plan.decide(unit, 0).is_some(), "percent=100 always fires");
+            assert_eq!(plan.decide(unit, 1), None, "retries are fault-free");
+        }
+        // Different seeds give different schedules somewhere in 50 units.
+        let other = FaultPlan::every_first_attempt(8);
+        assert!((0..50).any(|u| plan.decide(u, 0) != other.decide(u, 0)));
+    }
+
+    #[test]
+    fn percent_zero_and_empty_kinds_never_fire() {
+        let mut plan = FaultPlan::every_first_attempt(1);
+        plan.percent = 0;
+        assert!((0..20).all(|u| plan.decide(u, 0).is_none()));
+        let mut plan = FaultPlan::every_first_attempt(1);
+        plan.kinds.clear();
+        assert!((0..20).all(|u| plan.decide(u, 0).is_none()));
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        assert!(FaultPlan::parse("percent=200").is_err());
+        assert!(FaultPlan::parse("kinds=warp-core-breach").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn all_kinds_are_drawn_eventually() {
+        let plan = FaultPlan::every_first_attempt(3);
+        let mut seen = Vec::new();
+        for unit in 0..200 {
+            if let Some(kind) = plan.decide(unit, 0) {
+                if !seen.contains(&kind) {
+                    seen.push(kind);
+                }
+            }
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len(), "saw {seen:?}");
+    }
+}

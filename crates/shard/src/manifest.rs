@@ -1,0 +1,301 @@
+//! The on-disk checkpoint store: output-directory layout, the crash-safe
+//! manifest, and the unit-partial commit protocol.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <out-dir>/
+//!   manifest.btrw            versioned Manifest (spec + completed unit ids)
+//!   units/unit-<id>.btrw     one UnitSpec per work unit (written at plan time)
+//!   partials/unit-<id>.btrw  one committed SweepResult partial per unit
+//!   final.btrw               the merged SweepResult (written last)
+//! ```
+//!
+//! ## Crash safety
+//!
+//! Every durable write follows *write-temp-then-rename*: bytes are written
+//! to a `.tmp-…` sibling and `rename(2)`d into place, so a reader never
+//! observes a half-written manifest or partial — it sees either the old
+//! file, the new file, or no file. A coordinator killed between a partial's
+//! rename and the manifest update loses nothing: resume re-scans the
+//! partials directory and adopts any valid checkpoint the manifest missed.
+//!
+//! ## Duplicate completions
+//!
+//! Re-issued stragglers can race their first attempt to the checkpoint.
+//! Commits resolve deterministically — **first committed wins**: a worker
+//! about to rename checks for an existing *valid* partial and yields to it,
+//! and only replaces invalid (torn/corrupt) ones. Merging stays idempotent
+//! on top of that via the partial's source label
+//! (see [`SweepResult::with_source`]).
+
+use crate::error::{Result, ShardError};
+use crate::unit::{SweepSpec, UnitSpec};
+use btr_sim::sweep::SweepResult;
+use btr_wire::{MapBuilder, Value, Wire, WireError};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version written to and expected from disk.
+pub const MANIFEST_FORMAT: u64 = 1;
+
+/// The output directory of one sharded sweep.
+#[derive(Debug, Clone)]
+pub struct OutDir {
+    root: PathBuf,
+}
+
+impl OutDir {
+    /// Wraps a path (no filesystem access).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        OutDir { root: root.into() }
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Creates the directory skeleton.
+    pub fn init(&self) -> Result<()> {
+        for dir in [self.root.clone(), self.units_dir(), self.partials_dir()] {
+            fs::create_dir_all(&dir)
+                .map_err(|e| ShardError::io(format!("creating {}", dir.display()), e))?;
+        }
+        Ok(())
+    }
+
+    /// Path of the manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.btrw")
+    }
+
+    /// Directory holding per-unit spec files.
+    pub fn units_dir(&self) -> PathBuf {
+        self.root.join("units")
+    }
+
+    /// Path of one unit's spec file.
+    pub fn unit_path(&self, unit_id: u32) -> PathBuf {
+        self.units_dir().join(format!("unit-{unit_id}.btrw"))
+    }
+
+    /// Directory holding committed partials.
+    pub fn partials_dir(&self) -> PathBuf {
+        self.root.join("partials")
+    }
+
+    /// Path of one unit's committed partial.
+    pub fn partial_path(&self, unit_id: u32) -> PathBuf {
+        self.partials_dir().join(format!("unit-{unit_id}.btrw"))
+    }
+
+    /// Path of the merged final result.
+    pub fn final_path(&self) -> PathBuf {
+        self.root.join("final.btrw")
+    }
+
+    /// Writes `bytes` to `path` atomically: a `.tmp-<nonce>` sibling first,
+    /// then `rename` into place.
+    pub fn write_atomic(&self, path: &Path, bytes: &[u8], nonce: u32) -> Result<()> {
+        let tmp = tmp_sibling(path, nonce);
+        fs::write(&tmp, bytes)
+            .map_err(|e| ShardError::io(format!("writing {}", tmp.display()), e))?;
+        fs::rename(&tmp, path)
+            .map_err(|e| ShardError::io(format!("renaming {} into place", tmp.display()), e))
+    }
+
+    /// Commits a unit partial under the first-committed-wins rule.
+    ///
+    /// The labeled result is written to a temp sibling; if a *valid* partial
+    /// for the unit already exists the temp file is discarded and the
+    /// existing checkpoint stands, otherwise the temp file is renamed into
+    /// place (atomically replacing any torn or corrupt leftover). Returns
+    /// `true` when this call's bytes became the checkpoint.
+    pub fn commit_partial(
+        &self,
+        unit: &UnitSpec,
+        result: &SweepResult,
+        nonce: u32,
+    ) -> Result<bool> {
+        let path = self.partial_path(unit.unit_id);
+        let tmp = tmp_sibling(&path, nonce);
+        fs::write(&tmp, result.to_btrw())
+            .map_err(|e| ShardError::io(format!("writing {}", tmp.display()), e))?;
+        if self.load_partial(unit).is_ok() {
+            // A previous attempt committed first; its checkpoint wins.
+            let _ = fs::remove_file(&tmp);
+            return Ok(false);
+        }
+        fs::rename(&tmp, &path)
+            .map_err(|e| ShardError::io(format!("committing {}", path.display()), e))?;
+        Ok(true)
+    }
+
+    /// Loads and validates one unit's committed partial: it must decode (the
+    /// wire layer re-validates per-branch sums), belong to this unit's
+    /// family and history group, and carry the unit's source label. Torn or
+    /// corrupted checkpoints surface as errors and never merge.
+    pub fn load_partial(&self, unit: &UnitSpec) -> Result<SweepResult> {
+        let path = self.partial_path(unit.unit_id);
+        let bytes = fs::read(&path)
+            .map_err(|e| ShardError::io(format!("reading {}", path.display()), e))?;
+        let result = SweepResult::from_btrw(&bytes)?;
+        if result.family() != unit.family {
+            return Err(ShardError::bad_manifest(format!(
+                "partial {} belongs to family {}, unit wants {}",
+                unit.unit_id,
+                result.family().label(),
+                unit.family.label()
+            )));
+        }
+        if result.history_lengths() != unit.histories {
+            return Err(ShardError::bad_manifest(format!(
+                "partial {} covers histories {:?}, unit wants {:?}",
+                unit.unit_id,
+                result.history_lengths(),
+                unit.histories
+            )));
+        }
+        let expected = BTreeSet::from([unit.source_label()]);
+        if *result.sources() != expected {
+            return Err(ShardError::bad_manifest(format!(
+                "partial {} carries sources {:?}, expected {:?}",
+                unit.unit_id,
+                result.sources(),
+                expected
+            )));
+        }
+        Ok(result)
+    }
+
+    /// Writes every unit's spec file (idempotent; specs are deterministic
+    /// functions of the sweep spec, so overwriting on resume is harmless).
+    pub fn write_unit_specs(&self, units: &[UnitSpec]) -> Result<()> {
+        for unit in units {
+            self.write_atomic(&self.unit_path(unit.unit_id), &unit.to_btrw(), unit.unit_id)?;
+        }
+        Ok(())
+    }
+}
+
+fn tmp_sibling(path: &Path, nonce: u32) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp-{nonce}"));
+    path.with_file_name(name)
+}
+
+/// The durable record of a sweep's progress: its spec and the set of units
+/// whose partials are committed. Everything else is reconstructible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The sweep this manifest tracks.
+    pub spec: SweepSpec,
+    /// Units whose validated partials are on disk.
+    pub completed: BTreeSet<u32>,
+}
+
+impl Manifest {
+    /// A fresh manifest with nothing completed.
+    pub fn new(spec: SweepSpec) -> Self {
+        Manifest {
+            spec,
+            completed: BTreeSet::new(),
+        }
+    }
+
+    /// Saves the manifest atomically (write-temp-then-rename).
+    pub fn save(&self, dir: &OutDir) -> Result<()> {
+        dir.write_atomic(
+            &dir.manifest_path(),
+            &self.to_btrw(),
+            self.completed.len() as u32,
+        )
+    }
+
+    /// Loads a manifest, mapping a missing file to [`ShardError::BadManifest`]
+    /// (a torn `.tmp` sibling left by a killed coordinator is ignored: the
+    /// rename either happened or the old manifest is still in place).
+    pub fn load(dir: &OutDir) -> Result<Self> {
+        let path = dir.manifest_path();
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(ShardError::bad_manifest(format!(
+                    "no manifest at {} (nothing to resume)",
+                    path.display()
+                )));
+            }
+            Err(e) => return Err(ShardError::io(format!("reading {}", path.display()), e)),
+        };
+        let manifest = Manifest::from_btrw(&bytes)
+            .map_err(|e| ShardError::bad_manifest(format!("{}: {e}", path.display())))?;
+        manifest.spec.validate()?;
+        let total = manifest.spec.plan_units()?.len() as u32;
+        if let Some(stray) = manifest.completed.iter().find(|id| **id >= total) {
+            return Err(ShardError::bad_manifest(format!(
+                "completed unit {stray} outside the sweep's {total} units"
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Reconciles the manifest against the partials actually on disk:
+    /// completed units whose checkpoints vanished or fail validation are
+    /// re-opened, and valid checkpoints the manifest missed (a coordinator
+    /// killed between rename and manifest save) are adopted. Returns whether
+    /// anything changed (callers then re-save the manifest).
+    pub fn reconcile(&mut self, dir: &OutDir, units: &[UnitSpec]) -> bool {
+        let mut changed = false;
+        for unit in units {
+            let valid = dir.load_partial(unit).is_ok();
+            let recorded = self.completed.contains(&unit.unit_id);
+            if valid && !recorded {
+                self.completed.insert(unit.unit_id);
+                changed = true;
+            } else if !valid && recorded {
+                self.completed.remove(&unit.unit_id);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// [`Manifest`] encodes a format version, the sweep spec and the sorted
+/// completed-unit set; unknown future versions are rejected on decode.
+impl Wire for Manifest {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("format", MANIFEST_FORMAT)
+            .field("spec", self.spec.to_value())
+            .field(
+                "completed",
+                Value::U64s(self.completed.iter().map(|id| u64::from(*id)).collect()),
+            )
+            .build()
+    }
+
+    fn from_value(value: &Value) -> std::result::Result<Self, WireError> {
+        let format = value.get("format")?.as_u64()?;
+        if format != MANIFEST_FORMAT {
+            return Err(WireError::schema(format!(
+                "manifest format {format} not supported (expected {MANIFEST_FORMAT})"
+            )));
+        }
+        let mut completed = BTreeSet::new();
+        for id in value.get("completed")?.as_u64_seq()? {
+            completed
+                .insert(u32::try_from(id).map_err(|_| WireError::schema("unit id exceeds u32"))?);
+        }
+        Ok(Manifest {
+            spec: SweepSpec::from_value(value.get("spec")?)?,
+            completed,
+        })
+    }
+}

@@ -1,0 +1,351 @@
+//! Sweep partitioning: a [`SweepSpec`] describes one whole experiment, and
+//! [`SweepSpec::plan_units`] splits it into self-contained [`UnitSpec`] work
+//! units along three axes — benchmark × history-group × trace window.
+//!
+//! A unit ships *no trace bytes*: workload generation is deterministic per
+//! `(Benchmark, SuiteConfig)` (pinned by the workloads crate), so a worker
+//! regenerates its trace from the descriptors in the unit and the partial it
+//! returns is bit-identical wherever it runs.
+
+use crate::error::{Result, ShardError};
+use btr_sim::config::{PredictorFamily, PredictorKind, WarmupWindow};
+use btr_sim::engine::{result_from_dense, RunResult, SimEngine};
+use btr_sim::sweep::SweepResult;
+use btr_wire::{MapBuilder, Value, Wire, WireError};
+use btr_workloads::{Benchmark, SuiteConfig};
+
+/// One whole sharded sweep: the experiment every unit is a piece of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Predictor family to sweep.
+    pub family: PredictorFamily,
+    /// History lengths, strictly increasing (so the merged result's order
+    /// matches the sequential [`btr_sim::sweep::HistorySweep`] reference).
+    pub histories: Vec<u32>,
+    /// Benchmarks to simulate, in suite order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Workload generation parameters shared by every unit.
+    pub config: SuiteConfig,
+    /// History lengths per unit: `histories` is chunked into groups of this
+    /// size and each group is swept by its own fused predictor pass.
+    pub history_group: usize,
+    /// Trace windows per benchmark: each trace is split into this many
+    /// contiguous windows simulated independently (with full-prefix warmup,
+    /// so merged windows stay bit-identical to the sequential run).
+    pub window_count: u32,
+}
+
+impl SweepSpec {
+    /// Validates the spec: non-empty axes, sorted unique histories within
+    /// the family budget, positive partition parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.histories.is_empty() {
+            return Err(ShardError::invalid_spec("no history lengths"));
+        }
+        if !self.histories.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ShardError::invalid_spec(
+                "history lengths must be strictly increasing",
+            ));
+        }
+        if let Some(h) = self
+            .histories
+            .iter()
+            .find(|h| **h > self.family.max_history())
+        {
+            return Err(ShardError::invalid_spec(format!(
+                "history length {h} exceeds the {} budget",
+                self.family.label()
+            )));
+        }
+        if self.benchmarks.is_empty() {
+            return Err(ShardError::invalid_spec("no benchmarks"));
+        }
+        if self.history_group == 0 {
+            return Err(ShardError::invalid_spec("history_group must be positive"));
+        }
+        if self.window_count == 0 {
+            return Err(ShardError::invalid_spec("window_count must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The history groups, in order: `histories` chunked by `history_group`.
+    pub fn history_groups(&self) -> Vec<Vec<u32>> {
+        self.histories
+            .chunks(self.history_group)
+            .map(<[u32]>::to_vec)
+            .collect()
+    }
+
+    /// Partitions the sweep into work units, ids assigned contiguously in
+    /// (history-group, benchmark, window) order so each group's units are a
+    /// contiguous id range and merge order is deterministic.
+    pub fn plan_units(&self) -> Result<Vec<UnitSpec>> {
+        self.validate()?;
+        let mut units = Vec::new();
+        for group in self.history_groups() {
+            for benchmark in &self.benchmarks {
+                for window_index in 0..self.window_count {
+                    units.push(UnitSpec {
+                        unit_id: units.len() as u32,
+                        family: self.family,
+                        histories: group.clone(),
+                        benchmark: benchmark.clone(),
+                        config: self.config,
+                        window_index,
+                        window_count: self.window_count,
+                    });
+                }
+            }
+        }
+        Ok(units)
+    }
+}
+
+/// [`SweepSpec`] encodes every field verbatim; it is persisted inside the
+/// manifest so `resume` needs nothing but the output directory.
+impl Wire for SweepSpec {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("family", self.family.to_value())
+            .field("histories", Value::U64s(histories_to_u64s(&self.histories)))
+            .field(
+                "benchmarks",
+                Value::List(self.benchmarks.iter().map(Wire::to_value).collect()),
+            )
+            .field("config", self.config.to_value())
+            .field("history_group", self.history_group as u64)
+            .field("window_count", u64::from(self.window_count))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> std::result::Result<Self, WireError> {
+        let mut benchmarks = Vec::new();
+        for entry in value.get("benchmarks")?.as_list()? {
+            benchmarks.push(Benchmark::from_value(entry)?);
+        }
+        Ok(SweepSpec {
+            family: PredictorFamily::from_value(value.get("family")?)?,
+            histories: histories_from_value(value.get("histories")?)?,
+            benchmarks,
+            config: SuiteConfig::from_value(value.get("config")?)?,
+            history_group: usize::try_from(value.get("history_group")?.as_u64()?)
+                .map_err(|_| WireError::schema("history_group exceeds usize"))?,
+            window_count: u32::try_from(value.get("window_count")?.as_u64()?)
+                .map_err(|_| WireError::schema("window_count exceeds u32"))?,
+        })
+    }
+}
+
+/// One self-contained work unit: a benchmark, a group of history lengths and
+/// one trace window. Everything a worker needs to produce its partial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitSpec {
+    /// Position in the sweep's unit list; names the checkpoint file and the
+    /// partial's source label.
+    pub unit_id: u32,
+    /// Predictor family.
+    pub family: PredictorFamily,
+    /// The history lengths this unit sweeps (one group of the spec).
+    pub histories: Vec<u32>,
+    /// The benchmark whose trace this unit regenerates.
+    pub benchmark: Benchmark,
+    /// Workload generation parameters.
+    pub config: SuiteConfig,
+    /// Which of the trace's `window_count` contiguous windows to score.
+    pub window_index: u32,
+    /// Total windows the trace is split into (1 = whole trace).
+    pub window_count: u32,
+}
+
+impl UnitSpec {
+    /// The source label the unit's partial carries
+    /// (see [`SweepResult::with_source`]).
+    pub fn source_label(&self) -> String {
+        format!("unit-{}", self.unit_id)
+    }
+
+    /// The `[start, end)` record range of window `index` when `len` records
+    /// are split into `count` near-equal contiguous windows.
+    pub fn window_bounds(len: usize, index: u32, count: u32) -> (usize, usize) {
+        let len = len as u64;
+        let (index, count) = (u64::from(index), u64::from(count.max(1)));
+        let start = (len * index / count) as usize;
+        let end = (len * (index + 1) / count) as usize;
+        (start, end)
+    }
+
+    /// Executes the unit: regenerate the benchmark trace, sweep this unit's
+    /// history group over its window, and return the (unlabeled) partial.
+    ///
+    /// With one window the whole trace runs on the fused sweep path — the
+    /// same path the sequential [`btr_sim::sweep::HistorySweep::run`]
+    /// reference uses. With several, each history simulates its window via
+    /// [`SimEngine::run_window_dispatch`] with [`WarmupWindow::FullPrefix`],
+    /// whose merged partials are pinned bit-identical to the sequential run.
+    /// Either way, merging every unit of a sweep reproduces the sequential
+    /// result bit for bit (pinned by `tests/fault_convergence.rs`).
+    pub fn execute(&self) -> Result<SweepResult> {
+        if self.histories.is_empty() {
+            return Err(ShardError::invalid_spec("unit has no history lengths"));
+        }
+        let trace = self.benchmark.generate(&self.config);
+        let interned = trace.intern();
+        let engine = SimEngine::new();
+        if self.window_count <= 1 {
+            let mut fused = self.family.fused_paper(&self.histories);
+            let results = engine.run_fused(&interned, &mut fused);
+            let parts = self.histories.iter().copied().zip(results).collect();
+            return Ok(SweepResult::from_parts(self.family, parts));
+        }
+        let len = interned.records().len();
+        let (start, end) = UnitSpec::window_bounds(len, self.window_index, self.window_count);
+        let mut parts: Vec<(u32, RunResult)> = Vec::with_capacity(self.histories.len());
+        for &history in &self.histories {
+            let kind = match self.family {
+                PredictorFamily::PAs => PredictorKind::PAsPaper { history },
+                PredictorFamily::GAs => PredictorKind::GAsPaper { history },
+            };
+            let mut predictor = kind.build_dispatch();
+            let dense = engine.run_window_dispatch(
+                &interned,
+                &mut predictor,
+                start,
+                end,
+                WarmupWindow::FullPrefix,
+            );
+            parts.push((history, result_from_dense(dense, interned.addrs())));
+        }
+        Ok(SweepResult::from_parts(self.family, parts))
+    }
+}
+
+/// [`UnitSpec`] encodes every field verbatim; the coordinator writes one
+/// unit file per unit and workers decode it as their entire job description.
+impl Wire for UnitSpec {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("unit_id", u64::from(self.unit_id))
+            .field("family", self.family.to_value())
+            .field("histories", Value::U64s(histories_to_u64s(&self.histories)))
+            .field("benchmark", self.benchmark.to_value())
+            .field("config", self.config.to_value())
+            .field("window_index", u64::from(self.window_index))
+            .field("window_count", u64::from(self.window_count))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> std::result::Result<Self, WireError> {
+        let window_count = u32::try_from(value.get("window_count")?.as_u64()?)
+            .map_err(|_| WireError::schema("window_count exceeds u32"))?;
+        let window_index = u32::try_from(value.get("window_index")?.as_u64()?)
+            .map_err(|_| WireError::schema("window_index exceeds u32"))?;
+        if window_count == 0 || window_index >= window_count {
+            return Err(WireError::schema(format!(
+                "window {window_index} outside its window count {window_count}"
+            )));
+        }
+        Ok(UnitSpec {
+            unit_id: u32::try_from(value.get("unit_id")?.as_u64()?)
+                .map_err(|_| WireError::schema("unit id exceeds u32"))?,
+            family: PredictorFamily::from_value(value.get("family")?)?,
+            histories: histories_from_value(value.get("histories")?)?,
+            benchmark: Benchmark::from_value(value.get("benchmark")?)?,
+            config: SuiteConfig::from_value(value.get("config")?)?,
+            window_index,
+            window_count,
+        })
+    }
+}
+
+fn histories_to_u64s(histories: &[u32]) -> Vec<u64> {
+    histories.iter().map(|h| u64::from(*h)).collect()
+}
+
+fn histories_from_value(value: &Value) -> std::result::Result<Vec<u32>, WireError> {
+    value
+        .as_u64_seq()?
+        .into_iter()
+        .map(|h| u32::try_from(h).map_err(|_| WireError::schema("history length exceeds u32")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            family: PredictorFamily::PAs,
+            histories: vec![0, 1, 2, 4],
+            benchmarks: vec![Benchmark::compress(), Benchmark::li()],
+            config: SuiteConfig::default().with_scale(2e-7),
+            history_group: 3,
+            window_count: 2,
+        }
+    }
+
+    #[test]
+    fn planning_partitions_all_three_axes() {
+        let units = small_spec().plan_units().expect("spec is valid");
+        // 2 history groups ({0,1,2} and {4}) × 2 benchmarks × 2 windows.
+        assert_eq!(units.len(), 8);
+        assert_eq!(units[0].histories, vec![0, 1, 2]);
+        assert_eq!(units[7].histories, vec![4]);
+        for (i, unit) in units.iter().enumerate() {
+            assert_eq!(unit.unit_id, i as u32);
+        }
+        // Each group's units are contiguous.
+        assert!(units[..4].iter().all(|u| u.histories.len() == 3));
+        assert!(units[4..].iter().all(|u| u.histories == vec![4]));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = small_spec();
+        spec.histories = vec![2, 2];
+        assert!(spec.plan_units().is_err(), "duplicate histories rejected");
+        let mut spec = small_spec();
+        spec.window_count = 0;
+        assert!(spec.plan_units().is_err(), "zero windows rejected");
+        let mut spec = small_spec();
+        spec.histories = vec![99];
+        assert!(spec.plan_units().is_err(), "over-budget history rejected");
+    }
+
+    #[test]
+    fn window_bounds_cover_the_trace_exactly() {
+        for (len, count) in [(0usize, 3u32), (1, 3), (10, 3), (1000, 7), (5, 5)] {
+            let mut covered = 0;
+            for i in 0..count {
+                let (start, end) = UnitSpec::window_bounds(len, i, count);
+                assert_eq!(start, covered, "len={len} count={count} window={i}");
+                assert!(end >= start);
+                covered = end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn specs_roundtrip_on_the_wire() {
+        let spec = small_spec();
+        assert_eq!(
+            SweepSpec::from_btrw(&spec.to_btrw()).expect("sweep spec decodes"),
+            spec
+        );
+        let unit = &spec.plan_units().expect("spec is valid")[3];
+        assert_eq!(
+            &UnitSpec::from_btrw(&unit.to_btrw()).expect("unit spec decodes"),
+            unit
+        );
+    }
+
+    #[test]
+    fn out_of_range_window_index_rejected_on_decode() {
+        let mut unit = small_spec().plan_units().expect("spec is valid")[0].clone();
+        unit.window_index = 5;
+        let err = UnitSpec::from_btrw(&unit.to_btrw()).expect_err("bad window rejected");
+        assert!(err.to_string().contains("window"), "{err}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Worker-side unit execution: decode a [`UnitSpec`], simulate it, commit
+//! the checkpoint — and, under a [`FaultPlan`], misbehave on purpose.
+//!
+//! The exit-code protocol is deliberately *not* load-bearing: completion is
+//! decided by the checkpoint on disk, never by how the process died. The
+//! coordinator validates the partial after every worker exit (clean, crash
+//! or kill) and adopts it if valid — that is what makes
+//! [`FaultKind::CrashAfterCommit`] safe — so the codes below only classify
+//! failures for humans reading logs.
+
+use crate::error::{Result, ShardError};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::manifest::OutDir;
+use crate::unit::UnitSpec;
+use btr_wire::Wire;
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+/// Worker exit: unit executed and checkpoint committed (or yielded to an
+/// earlier valid commit).
+pub const EXIT_OK: i32 = 0;
+/// Worker exit: an injected fault made this attempt die without a valid
+/// checkpoint of its own.
+pub const EXIT_INJECTED: i32 = 10;
+/// Worker exit: real failure (I/O, decode, invalid unit).
+pub const EXIT_ERROR: i32 = 11;
+/// Worker exit: an injected stall expired without the coordinator killing
+/// the worker (only reachable with a deadline longer than the stall).
+pub const EXIT_STALL_EXPIRED: i32 = 12;
+
+/// Runs one worker invocation: decodes the unit file, applies the fault the
+/// `BTR_FAULT` plan schedules for `(unit, attempt)`, and returns the exit
+/// code the process should report.
+pub fn run_worker(unit_path: &Path, out_root: &Path, attempt: u32) -> Result<i32> {
+    let bytes = fs::read(unit_path)
+        .map_err(|e| ShardError::io(format!("reading unit spec {}", unit_path.display()), e))?;
+    let unit = UnitSpec::from_btrw(&bytes)?;
+    let dir = OutDir::new(out_root);
+    let fault = FaultPlan::from_env()?;
+    let decision = fault.as_ref().and_then(|p| p.decide(unit.unit_id, attempt));
+    if let Some(FaultKind::Stall) = decision {
+        // Hang without committing until the coordinator's deadline kills us.
+        let stall = fault.map(|p| p.stall_ms).unwrap_or(60_000);
+        std::thread::sleep(Duration::from_millis(stall));
+        return Ok(EXIT_STALL_EXPIRED);
+    }
+    let clean = execute_and_commit(&dir, &unit, decision, std::process::id())?;
+    Ok(if clean { EXIT_OK } else { EXIT_INJECTED })
+}
+
+/// Executes a unit and commits its checkpoint, applying a (non-stall)
+/// injected fault to the commit path. Returns whether the attempt should
+/// report a clean exit. Shared by the worker binary and the coordinator's
+/// in-process launcher, so fault semantics cannot drift between the two.
+pub fn execute_and_commit(
+    dir: &OutDir,
+    unit: &UnitSpec,
+    fault: Option<FaultKind>,
+    nonce: u32,
+) -> Result<bool> {
+    let result = unit.execute()?.with_source(unit.source_label());
+    match fault {
+        None => {
+            dir.commit_partial(unit, &result, nonce)?;
+            Ok(true)
+        }
+        Some(FaultKind::CrashBeforeCommit) | Some(FaultKind::Stall) => {
+            // Die with the finished result still in memory: nothing durable.
+            Ok(false)
+        }
+        Some(FaultKind::CrashAfterCommit) => {
+            dir.commit_partial(unit, &result, nonce)?;
+            Ok(false)
+        }
+        Some(FaultKind::TornWrite) => {
+            // Bypass write-temp-then-rename and leave half a checkpoint at
+            // the final path, as a power loss on a non-atomic filesystem
+            // would. Validation must reject it and the unit must re-run.
+            let bytes = result.to_btrw();
+            let path = dir.partial_path(unit.unit_id);
+            fs::write(&path, &bytes[..bytes.len() / 2])
+                .map_err(|e| ShardError::io(format!("torn write to {}", path.display()), e))?;
+            Ok(false)
+        }
+        Some(FaultKind::CorruptPartial) => {
+            // Commit a checkpoint with a flipped payload bit and report
+            // success: only decode-time validation (canonical encodings,
+            // overall-equals-per-branch-sums, source labels) can catch it.
+            let mut bytes = result.to_btrw();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x55;
+            dir.write_atomic(&dir.partial_path(unit.unit_id), &bytes, nonce)?;
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::SweepSpec;
+    use btr_sim::config::PredictorFamily;
+    use btr_workloads::{Benchmark, SuiteConfig};
+
+    fn tiny_unit() -> UnitSpec {
+        SweepSpec {
+            family: PredictorFamily::PAs,
+            histories: vec![0, 2],
+            benchmarks: vec![Benchmark::compress()],
+            config: SuiteConfig::default().with_scale(5e-8),
+            history_group: 2,
+            window_count: 1,
+        }
+        .plan_units()
+        .expect("spec is valid")
+        .remove(0)
+    }
+
+    fn temp_dir(tag: &str) -> OutDir {
+        let dir = OutDir::new(std::env::temp_dir().join(format!(
+            "btr-shard-worker-test-{tag}-{}",
+            std::process::id()
+        )));
+        let _ = fs::remove_dir_all(dir.root());
+        dir.init().expect("temp out dir initialises");
+        dir
+    }
+
+    #[test]
+    fn clean_execution_commits_a_valid_partial() {
+        let dir = temp_dir("clean");
+        let unit = tiny_unit();
+        assert!(execute_and_commit(&dir, &unit, None, 1).expect("unit executes"));
+        let partial = dir
+            .load_partial(&unit)
+            .expect("committed partial validates");
+        assert_eq!(partial.history_lengths(), vec![0, 2]);
+        let _ = fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn torn_and_corrupt_checkpoints_fail_validation() {
+        let dir = temp_dir("torn");
+        let unit = tiny_unit();
+        assert!(
+            !execute_and_commit(&dir, &unit, Some(FaultKind::TornWrite), 1)
+                .expect("torn attempt runs")
+        );
+        assert!(dir.load_partial(&unit).is_err(), "torn partial rejected");
+        assert!(
+            execute_and_commit(&dir, &unit, Some(FaultKind::CorruptPartial), 2)
+                .expect("corrupt attempt runs")
+        );
+        assert!(dir.load_partial(&unit).is_err(), "corrupt partial rejected");
+        // A clean retry replaces the invalid checkpoint.
+        assert!(execute_and_commit(&dir, &unit, None, 3).expect("retry runs"));
+        assert!(dir.load_partial(&unit).is_ok());
+        let _ = fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn first_committed_checkpoint_wins_the_duplicate_race() {
+        let dir = temp_dir("dup");
+        let unit = tiny_unit();
+        assert!(
+            execute_and_commit(&dir, &unit, Some(FaultKind::CrashAfterCommit), 1)
+                .map(|clean| !clean)
+                .expect("first attempt commits then crashes")
+        );
+        let first = dir.load_partial(&unit).expect("first checkpoint is valid");
+        // The re-issued duplicate completes but must yield to the first.
+        assert!(execute_and_commit(&dir, &unit, None, 2).expect("duplicate runs"));
+        assert_eq!(dir.load_partial(&unit).expect("still valid"), first);
+        let _ = fs::remove_dir_all(dir.root());
+    }
+}

@@ -1,0 +1,96 @@
+//! Wire roundtrips for the shard runner's durable types. Unit specs,
+//! sweep specs and the manifest all cross a process boundary (coordinator →
+//! worker → checkpoint → resume), so their encodings must roundtrip exactly
+//! and reject the malformed shapes a crash can leave behind.
+
+use btr_shard::{Manifest, SweepSpec, UnitSpec, MANIFEST_FORMAT};
+use btr_sim::config::PredictorFamily;
+use btr_wire::{Value, Wire, WireError};
+use btr_workloads::{Benchmark, SuiteConfig};
+use std::collections::BTreeSet;
+
+/// Overwrites one field of an encoded map value (for forging bad shapes).
+fn set_field(value: &mut Value, key: &str, new: Value) {
+    if let Value::Map(entries) = value {
+        let entry = entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .expect("field exists");
+        entry.1 = new;
+    }
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        family: PredictorFamily::GAs,
+        histories: vec![0, 1, 2, 4, 8],
+        benchmarks: vec![Benchmark::compress(), Benchmark::li()],
+        config: SuiteConfig::default().with_scale(5e-8),
+        history_group: 2,
+        window_count: 3,
+    }
+}
+
+#[test]
+fn every_planned_unit_spec_roundtrips_through_btrw() {
+    let units = spec().plan_units().expect("spec plans");
+    assert_eq!(
+        units.len(),
+        3 * 2 * 3,
+        "3 groups x 2 benchmarks x 3 windows"
+    );
+    for unit in &units {
+        let back = UnitSpec::from_btrw(&unit.to_btrw()).expect("unit decodes");
+        assert_eq!(&back, unit);
+        assert_eq!(back.source_label(), format!("unit-{}", unit.unit_id));
+    }
+}
+
+#[test]
+fn sweep_spec_roundtrips_and_replans_identically() {
+    let spec = spec();
+    let back = SweepSpec::from_btrw(&spec.to_btrw()).expect("spec decodes");
+    assert_eq!(back, spec);
+    // Resume replans units from the decoded spec; the plan must agree.
+    assert_eq!(
+        back.plan_units().expect("decoded spec plans"),
+        spec.plan_units().expect("original spec plans")
+    );
+}
+
+#[test]
+fn manifest_roundtrips_with_its_completed_set() {
+    let mut manifest = Manifest::new(spec());
+    manifest.completed = BTreeSet::from([0, 3, 11]);
+    let back = Manifest::from_btrw(&manifest.to_btrw()).expect("manifest decodes");
+    assert_eq!(back, manifest);
+}
+
+#[test]
+fn a_unit_whose_window_escapes_its_count_is_rejected_on_decode() {
+    let unit = &spec().plan_units().expect("spec plans")[0];
+    let mut value = unit.to_value();
+    set_field(&mut value, "window_index", Value::U64(7));
+    let err = UnitSpec::from_value(&value).expect_err("window 7 of 3 must not decode");
+    assert!(matches!(err, WireError::Schema { .. }), "{err:?}");
+}
+
+#[test]
+fn a_manifest_from_the_future_is_rejected_not_misread() {
+    let mut value = Manifest::new(spec()).to_value();
+    set_field(&mut value, "format", Value::U64(MANIFEST_FORMAT + 1));
+    let err = Manifest::from_value(&value).expect_err("unknown format must not decode");
+    assert!(matches!(err, WireError::Schema { .. }), "{err:?}");
+}
+
+#[test]
+fn truncated_durable_records_error_instead_of_decoding() {
+    let manifest = Manifest::new(spec());
+    let unit = spec().plan_units().expect("spec plans").remove(0);
+    for bytes in [manifest.to_btrw(), spec().to_btrw(), unit.to_btrw()] {
+        let torn = &bytes[..bytes.len() / 2];
+        assert!(Manifest::from_btrw(torn).is_err());
+        assert!(SweepSpec::from_btrw(torn).is_err());
+        assert!(UnitSpec::from_btrw(torn).is_err());
+    }
+}

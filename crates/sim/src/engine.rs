@@ -107,8 +107,9 @@ impl FusedMissAccumulator {
 /// overall statistics as the table's column sums (exact, since every scored
 /// record lands in the table) and resolving ids through `addrs`. Shared by
 /// every dense-table path (interned, streamed, windowed-merge) so they cannot
-/// drift apart.
-pub(crate) fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> RunResult {
+/// drift apart; public so external window schedulers (the `btr-shard` worker)
+/// fold their [`SimEngine::run_window`] partials through the same code.
+pub fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> RunResult {
     let mut overall = PredictionStats::new();
     for stats in dense.stats() {
         overall.merge(stats);

@@ -18,6 +18,7 @@ use btr_core::profile::ProgramProfile;
 use btr_predictors::predictor::PredictionStats;
 use btr_trace::Trace;
 use btr_wire::{MapBuilder, Value, Wire, WireError};
+use std::collections::BTreeSet;
 
 /// The outcome of sweeping one predictor family over a set of history
 /// lengths for one or more traces.
@@ -30,6 +31,12 @@ pub struct SweepResult {
     /// corresponding `runs` entry; kept separately so overall rates survive
     /// without re-summing the maps).
     overall: Vec<(u32, PredictionStats)>,
+    /// Labels of the sweep partials already folded into this result. A
+    /// labeled partial arriving twice (a re-issued straggler whose first
+    /// attempt committed after all) is recognised by its label and skipped,
+    /// making [`SweepResult::merge`] idempotent per source. Empty for
+    /// unlabeled results, which always merge additively.
+    sources: BTreeSet<String>,
 }
 
 impl SweepResult {
@@ -55,7 +62,46 @@ impl SweepResult {
             family,
             runs,
             overall,
+            sources: BTreeSet::new(),
         }
+    }
+
+    /// Labels this result as the partial produced by one named source (a
+    /// shard work unit, a worker id, …). Merging two results whose source
+    /// sets overlap completely is a no-op; see [`SweepResult::merge`].
+    #[must_use]
+    pub fn with_source(mut self, label: impl Into<String>) -> Self {
+        self.sources = BTreeSet::from([label.into()]);
+        self
+    }
+
+    /// The source labels folded into this result (empty when unlabeled).
+    pub fn sources(&self) -> &BTreeSet<String> {
+        &self.sources
+    }
+
+    /// Decomposes the result into its family and per-history
+    /// `(history, RunResult)` parts, dropping source labels.
+    ///
+    /// This is the inverse of [`SweepResult::from_parts`]: shard
+    /// coordinators merge same-history partials first, then concatenate the
+    /// per-group parts and reassemble one result over the full history set.
+    pub fn into_parts(self) -> (PredictorFamily, Vec<(u32, RunResult)>) {
+        let parts = self
+            .overall
+            .into_iter()
+            .zip(self.runs)
+            .map(|((history, overall), (_, per_branch))| {
+                (
+                    history,
+                    RunResult {
+                        overall,
+                        per_branch,
+                    },
+                )
+            })
+            .collect();
+        (self.family, parts)
     }
 
     /// The predictor family swept.
@@ -128,10 +174,19 @@ impl SweepResult {
     /// bit-identical to a single sweep over the union of the shards —
     /// whatever the sharding (pinned by `tests/sweep_wire_partials.rs`).
     ///
+    /// When both sides carry source labels (see [`SweepResult::with_source`])
+    /// the merge is **idempotent**: a partial whose sources are already all
+    /// folded into `self` is skipped rather than double-counted, so a
+    /// duplicate completion from a re-issued straggler cannot corrupt the
+    /// total. Unlabeled partials always merge additively (the pre-existing
+    /// behaviour for ad-hoc shard unions).
+    ///
     /// # Panics
     ///
     /// Panics if the sweeps disagree on predictor family or history
-    /// lengths — partials of different experiments must not be mixed.
+    /// lengths — partials of different experiments must not be mixed — or if
+    /// the source sets overlap only partially (some of `other`'s sources
+    /// merged, some not), which no correct sharding can produce.
     pub fn merge(&mut self, other: &SweepResult) {
         assert_eq!(
             self.family, other.family,
@@ -142,6 +197,21 @@ impl SweepResult {
             other.history_lengths(),
             "cannot merge sweeps over different history lengths"
         );
+        if !other.sources.is_empty() {
+            let seen = other
+                .sources
+                .iter()
+                .filter(|s| self.sources.contains(*s))
+                .count();
+            if seen == other.sources.len() {
+                // Every source already merged: a duplicate completion.
+                return;
+            }
+            assert_eq!(
+                seen, 0,
+                "cannot merge sweep partials with partially overlapping sources"
+            );
+        }
         for ((_, mine), (_, theirs)) in self.overall.iter_mut().zip(&other.overall) {
             mine.merge(theirs);
         }
@@ -150,6 +220,7 @@ impl SweepResult {
                 mine.entry(*addr).or_default().merge(stats);
             }
         }
+        self.sources.extend(other.sources.iter().cloned());
     }
 }
 
@@ -170,10 +241,18 @@ impl Wire for SweepResult {
                     .build()
             })
             .collect::<Vec<Value>>();
-        MapBuilder::new()
+        let mut map = MapBuilder::new()
             .field("family", self.family.to_value())
-            .field("runs", Value::List(runs))
-            .build()
+            .field("runs", Value::List(runs));
+        if !self.sources.is_empty() {
+            let sources = self
+                .sources
+                .iter()
+                .map(|s| Value::Str(s.clone()))
+                .collect::<Vec<Value>>();
+            map = map.field("sources", Value::List(sources));
+        }
+        map.build()
     }
 
     fn from_value(value: &Value) -> Result<Self, WireError> {
@@ -190,10 +269,19 @@ impl Wire for SweepResult {
             overall.push((history, result.overall));
             runs.push((history, result.per_branch));
         }
+        // The sources field is optional on the wire: absent (the pre-PR-7
+        // encoding and every unlabeled result) decodes to the empty set.
+        let mut sources = BTreeSet::new();
+        if let Some(field) = value.get_opt("sources")? {
+            for entry in field.as_list()? {
+                sources.insert(entry.as_str()?.to_string());
+            }
+        }
         Ok(SweepResult {
             family,
             runs,
             overall,
+            sources,
         })
     }
 }
@@ -483,6 +571,66 @@ mod tests {
         let joint = sweep.run(&[&trace, &trace, &trace]);
         partial.merge(&other);
         assert_eq!(partial, joint);
+    }
+
+    #[test]
+    fn merging_the_same_labeled_partial_twice_is_idempotent() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 2]);
+        let a = sweep.run(&[&trace]).with_source("unit-0");
+        let b = sweep.run(&[&trace, &trace]).with_source("unit-1");
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let once = merged.clone();
+        // A duplicate completion from a re-issued straggler arrives twice —
+        // in either order — and must not double-count.
+        merged.merge(&b);
+        merged.merge(&a);
+        merged.merge(&once.clone());
+        assert_eq!(merged, once);
+        assert_eq!(
+            merged.sources().iter().collect::<Vec<_>>(),
+            vec!["unit-0", "unit-1"]
+        );
+    }
+
+    #[test]
+    fn labeled_partial_survives_the_wire_and_stays_idempotent() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::GAs, vec![0, 1]);
+        let labeled = sweep.run(&[&trace]).with_source("unit-7");
+        let decoded =
+            SweepResult::from_btrw(&labeled.to_btrw()).expect("labeled sweep BTRW decodes");
+        assert_eq!(decoded, labeled);
+        let mut merged = labeled.clone();
+        merged.merge(&decoded);
+        assert_eq!(
+            merged, labeled,
+            "re-merging the decoded duplicate must not change the result"
+        );
+    }
+
+    #[test]
+    fn parts_roundtrip_through_into_parts_and_from_parts() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0, 2, 4]);
+        let result = sweep.run(&[&trace]);
+        let (family, parts) = result.clone().into_parts();
+        assert_eq!(SweepResult::from_parts(family, parts), result);
+    }
+
+    #[test]
+    #[should_panic(expected = "partially overlapping sources")]
+    fn merging_partially_overlapping_sources_rejected() {
+        let trace = mixed_trace();
+        let sweep = HistorySweep::new(PredictorFamily::PAs, vec![0]);
+        let a = sweep.run(&[&trace]).with_source("unit-0");
+        let b = sweep.run(&[&trace]).with_source("unit-1");
+        let mut left = a.clone();
+        left.merge(&b); // sources {unit-0, unit-1}
+        let mut right = a;
+        right.merge(&sweep.run(&[&trace]).with_source("unit-2"));
+        left.merge(&right); // {unit-0, unit-2} overlaps {unit-0, unit-1} only partially
     }
 
     #[test]

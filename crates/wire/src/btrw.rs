@@ -262,7 +262,7 @@ mod tests {
     use crate::value::MapBuilder;
 
     fn roundtrip(v: &Value) -> Value {
-        from_bytes(&to_bytes(v)).unwrap()
+        from_bytes(&to_bytes(v)).expect("canonical BTRW round-trips")
     }
 
     #[test]

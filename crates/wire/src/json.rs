@@ -228,7 +228,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), WireError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), WireError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -264,7 +264,7 @@ impl Parser<'_> {
     }
 
     fn parse_list(&mut self, depth: usize) -> Result<Value, WireError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -287,7 +287,7 @@ impl Parser<'_> {
     }
 
     fn parse_map(&mut self, depth: usize) -> Result<Value, WireError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -298,7 +298,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.parse_value(depth + 1)?;
             entries.push((key, value));
@@ -315,7 +315,7 @@ impl Parser<'_> {
     }
 
     fn parse_string(&mut self) -> Result<String, WireError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -471,8 +471,8 @@ mod tests {
     use crate::value::MapBuilder;
 
     fn roundtrip(v: &Value) -> Value {
-        let text = to_string(v).unwrap();
-        from_str(&text).unwrap()
+        let text = to_string(v).expect("value encodes as JSON");
+        from_str(&text).expect("encoded JSON parses back")
     }
 
     #[test]
@@ -490,14 +490,20 @@ mod tests {
     #[test]
     fn floats_always_reparse_as_floats() {
         for v in [0.25, -0.0, 5.0, 1e-300, 6.02e23, f64::MIN_POSITIVE] {
-            let text = to_string(&Value::F64(v)).unwrap();
-            match from_str(&text).unwrap() {
+            let text = to_string(&Value::F64(v)).expect("float encodes as JSON");
+            match from_str(&text).expect("encoded float parses back") {
                 Value::F64(back) => assert_eq!(back.to_bits(), v.to_bits(), "{text}"),
                 other => panic!("{text} parsed as {other:?}"),
             }
         }
-        assert_eq!(to_string(&Value::F64(5.0)).unwrap(), "5.0");
-        assert_eq!(to_string(&Value::F64(-0.0)).unwrap(), "-0.0");
+        assert_eq!(
+            to_string(&Value::F64(5.0)).expect("5.0 encodes as JSON"),
+            "5.0"
+        );
+        assert_eq!(
+            to_string(&Value::F64(-0.0)).expect("-0.0 encodes as JSON"),
+            "-0.0"
+        );
     }
 
     #[test]
@@ -516,7 +522,10 @@ mod tests {
             .field("b", 1u64)
             .field("a", Value::List(vec![Value::U64(1), Value::Null]))
             .build();
-        assert_eq!(to_string(&v).unwrap(), "{\"b\":1,\"a\":[1,null]}");
+        assert_eq!(
+            to_string(&v).expect("map encodes as JSON"),
+            "{\"b\":1,\"a\":[1,null]}"
+        );
     }
 
     #[test]
@@ -526,31 +535,48 @@ mod tests {
             .field("name", "bench")
             .field("empty", Value::Map(vec![]))
             .build();
-        let pretty = to_string_pretty(&v).unwrap();
+        let pretty = to_string_pretty(&v).expect("value pretty-prints");
         assert!(pretty.contains("\n  \"xs\": ["));
         // U64s serialises as a plain array, so it parses back as a List.
-        let reparsed = from_str(&pretty).unwrap();
-        assert_eq!(reparsed, from_str(&to_string(&v).unwrap()).unwrap());
+        let reparsed = from_str(&pretty).expect("pretty JSON parses back");
         assert_eq!(
-            reparsed.get("xs").unwrap().as_u64_seq().unwrap(),
+            reparsed,
+            from_str(&to_string(&v).expect("value encodes compactly"))
+                .expect("compact JSON parses back")
+        );
+        assert_eq!(
+            reparsed
+                .get("xs")
+                .expect("xs field is present")
+                .as_u64_seq()
+                .expect("xs is a u64 sequence"),
             vec![1, 2, 3]
         );
     }
 
     #[test]
     fn parser_normalises_numbers_by_shape() {
-        assert_eq!(from_str("7").unwrap(), Value::U64(7));
-        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
-        assert_eq!(from_str("-0").unwrap(), Value::U64(0));
-        assert_eq!(from_str("7.5").unwrap(), Value::F64(7.5));
-        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(from_str("7").expect("unsigned token parses"), Value::U64(7));
         assert_eq!(
-            from_str("18446744073709551615").unwrap(),
+            from_str("-7").expect("negative token parses"),
+            Value::I64(-7)
+        );
+        assert_eq!(from_str("-0").expect("negative zero parses"), Value::U64(0));
+        assert_eq!(
+            from_str("7.5").expect("fractional token parses"),
+            Value::F64(7.5)
+        );
+        assert_eq!(
+            from_str("1e3").expect("exponent token parses"),
+            Value::F64(1000.0)
+        );
+        assert_eq!(
+            from_str("18446744073709551615").expect("u64::MAX token parses"),
             Value::U64(u64::MAX)
         );
         // Wider than u64: falls back to a double.
         assert!(matches!(
-            from_str("18446744073709551616").unwrap(),
+            from_str("18446744073709551616").expect("over-u64 token parses as f64"),
             Value::F64(_)
         ));
     }
@@ -564,9 +590,12 @@ mod tests {
             assert!(err.to_string().contains("overflows"), "{bad}: {err}");
         }
         // Underflow collapses to a representable zero and stays accepted.
-        assert_eq!(from_str("1e-999").unwrap(), Value::F64(0.0));
         assert_eq!(
-            from_str("1.7976931348623157e308").unwrap(),
+            from_str("1e-999").expect("underflowing token parses"),
+            Value::F64(0.0)
+        );
+        assert_eq!(
+            from_str("1.7976931348623157e308").expect("f64::MAX token parses"),
             Value::F64(f64::MAX)
         );
     }
@@ -574,11 +603,11 @@ mod tests {
     #[test]
     fn escapes_and_surrogate_pairs_decode() {
         assert_eq!(
-            from_str("\"a\\u0041\\n\\t\\\\\\\"\\/\"").unwrap(),
+            from_str("\"a\\u0041\\n\\t\\\\\\\"\\/\"").expect("escape sequences parse"),
             Value::Str("aA\n\t\\\"/".into())
         );
         assert_eq!(
-            from_str("\"\\ud83d\\ude00\"").unwrap(),
+            from_str("\"\\ud83d\\ude00\"").expect("surrogate pair parses"),
             Value::Str("😀".into())
         );
         assert!(from_str("\"\\ud83d\"").is_err(), "unpaired surrogate");
@@ -590,7 +619,9 @@ mod tests {
         let s: String = (0u8..0x20).map(char::from).collect();
         let v = Value::Str(s.clone());
         assert_eq!(roundtrip(&v), v);
-        assert!(to_string(&v).unwrap().contains("\\u0000"));
+        assert!(to_string(&v)
+            .expect("control character encodes")
+            .contains("\\u0000"));
     }
 
     #[test]

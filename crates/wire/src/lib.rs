@@ -159,13 +159,20 @@ mod tests {
     fn value_implements_wire_for_schemaless_payloads() {
         let v = MapBuilder::new().field("k", 1u64).build();
         let bytes = v.to_btrw();
-        assert_eq!(Value::from_btrw(&bytes).unwrap(), v);
-        let json_text = v.to_json().unwrap();
-        assert_eq!(Value::from_json(&json_text).unwrap(), v);
+        assert_eq!(Value::from_btrw(&bytes).expect("canonical BTRW decodes"), v);
+        let json_text = v.to_json().expect("value encodes as JSON");
+        assert_eq!(
+            Value::from_json(&json_text).expect("canonical JSON decodes"),
+            v
+        );
         let mut cursor = bytes.as_slice();
-        assert_eq!(Value::read_btrw(&mut cursor).unwrap(), v);
+        assert_eq!(
+            Value::read_btrw(&mut cursor).expect("streamed BTRW decodes"),
+            v
+        );
         let mut sink = Vec::new();
-        v.write_btrw(&mut sink).unwrap();
+        v.write_btrw(&mut sink)
+            .expect("writing to a Vec cannot fail");
         assert_eq!(sink, bytes);
     }
 }

@@ -333,30 +333,49 @@ mod tests {
 
     #[test]
     fn accessors_accept_exact_cross_variant_numbers() {
-        assert_eq!(Value::U64(7).as_u64().unwrap(), 7);
-        assert_eq!(Value::I64(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::U64(7).as_u64().expect("u64 reads as u64"), 7);
+        assert_eq!(Value::I64(7).as_u64().expect("exact i64 reads as u64"), 7);
         assert!(Value::I64(-1).as_u64().is_err());
-        assert_eq!(Value::U64(7).as_i64().unwrap(), 7);
+        assert_eq!(Value::U64(7).as_i64().expect("exact u64 reads as i64"), 7);
         assert!(Value::U64(u64::MAX).as_i64().is_err());
-        assert_eq!(Value::U64(5).as_f64().unwrap(), 5.0);
+        assert_eq!(
+            Value::U64(5).as_f64().expect("exact integer reads as f64"),
+            5.0
+        );
         assert!(Value::U64(u64::MAX).as_f64().is_err());
-        assert_eq!(Value::F64(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::F64(2.5).as_f64().expect("f64 reads as f64"), 2.5);
         assert!(Value::Str("x".into()).as_f64().is_err());
     }
 
     #[test]
     fn option_floats_map_null_to_none() {
         assert_eq!(Value::opt_f64(None), Value::Null);
-        assert_eq!(Value::Null.as_opt_f64().unwrap(), None);
-        assert_eq!(Value::opt_f64(Some(0.5)).as_opt_f64().unwrap(), Some(0.5));
+        assert_eq!(
+            Value::Null
+                .as_opt_f64()
+                .expect("null reads as optional f64"),
+            None
+        );
+        assert_eq!(
+            Value::opt_f64(Some(0.5))
+                .as_opt_f64()
+                .expect("float reads as optional f64"),
+            Some(0.5)
+        );
     }
 
     #[test]
     fn u64_sequences_read_from_both_shapes() {
         let dense = Value::U64s(vec![3, 1, 4]);
         let sparse = Value::List(vec![Value::U64(3), Value::U64(1), Value::U64(4)]);
-        assert_eq!(dense.as_u64_seq().unwrap(), vec![3, 1, 4]);
-        assert_eq!(sparse.as_u64_seq().unwrap(), vec![3, 1, 4]);
+        assert_eq!(
+            dense.as_u64_seq().expect("dense sequence reads"),
+            vec![3, 1, 4]
+        );
+        assert_eq!(
+            sparse.as_u64_seq().expect("sparse list reads as sequence"),
+            vec![3, 1, 4]
+        );
         assert!(Value::List(vec![Value::Str("x".into())])
             .as_u64_seq()
             .is_err());
@@ -366,9 +385,15 @@ mod tests {
     #[test]
     fn map_lookup_reports_missing_fields() {
         let v = MapBuilder::new().field("a", 1u64).build();
-        assert_eq!(v.get("a").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            v.get("a")
+                .expect("field a is present")
+                .as_u64()
+                .expect("field a reads as u64"),
+            1
+        );
         assert!(v.get("b").unwrap_err().to_string().contains("\"b\""));
-        assert_eq!(v.get_opt("b").unwrap(), None);
+        assert_eq!(v.get_opt("b").expect("optional lookup succeeds"), None);
         assert!(Value::Null.get("a").is_err());
     }
 

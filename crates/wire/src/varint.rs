@@ -93,8 +93,11 @@ mod tests {
     fn varint_roundtrips_across_widths() {
         for v in [0u64, 1, 127, 128, 300, 1 << 21, u32::MAX as u64, u64::MAX] {
             let mut buf = Vec::new();
-            write_varint(&mut buf, v).unwrap();
-            assert_eq!(read_varint(&mut buf.as_slice(), "test").unwrap(), v);
+            write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+            assert_eq!(
+                read_varint(&mut buf.as_slice(), "test").expect("canonical varint decodes"),
+                v
+            );
         }
     }
 
@@ -122,13 +125,16 @@ mod tests {
     fn tenth_byte_payload_must_fit_the_top_bit() {
         // u64::MAX is the canonical 10-byte maximum: nine 0xff then 0x01.
         let mut max = Vec::new();
-        write_varint(&mut max, u64::MAX).unwrap();
+        write_varint(&mut max, u64::MAX).expect("writing to a Vec cannot fail");
         assert_eq!(max.len(), 10);
-        assert_eq!(*max.last().unwrap(), 0x01);
-        assert_eq!(read_varint(&mut max.as_slice(), "max").unwrap(), u64::MAX);
+        assert_eq!(*max.last().expect("ten-byte varint is non-empty"), 0x01);
+        assert_eq!(
+            read_varint(&mut max.as_slice(), "max").expect("maximal varint decodes"),
+            u64::MAX
+        );
         // A final byte with any payload above bit 0 would drop bits 64+.
         let mut too_big = max.clone();
-        *too_big.last_mut().unwrap() = 0x03;
+        *too_big.last_mut().expect("ten-byte varint is non-empty") = 0x03;
         let err = read_varint(&mut too_big.as_slice(), "wide").unwrap_err();
         assert!(err.to_string().contains("overflows 64 bits"), "{err}");
     }
@@ -141,6 +147,9 @@ mod tests {
             assert!(err.to_string().contains("non-minimal"), "{bad:?}: {err}");
         }
         // A lone zero byte is canonical.
-        assert_eq!(read_varint(&mut [0x00u8].as_slice(), "zero").unwrap(), 0);
+        assert_eq!(
+            read_varint(&mut [0x00u8].as_slice(), "zero").expect("single zero byte decodes"),
+            0
+        );
     }
 }

@@ -176,3 +176,53 @@ proptest! {
         prop_assert_eq!(back, Value::U64s(items));
     }
 }
+
+// Adversarial inputs: a decoder fed torn or corrupted checkpoints (the shard
+// runner's fault harness produces both on purpose) must fail with a typed
+// error, never a panic — a panic in the varint or BTRW layer would take the
+// whole coordinator down with the broken checkpoint it was rejecting.
+proptest! {
+    #[test]
+    fn truncated_btrw_always_errs_and_never_panics(
+        words in proptest::collection::vec(any::<u64>(), 0..96),
+        cut in proptest::arbitrary::any::<proptest::sample::Index>(),
+    ) {
+        let bytes = btrw::to_bytes(&value_from_words(&words, false));
+        // Canonical encodings carry no trailing slack, so *every* strict
+        // prefix — including the empty one — must fail to decode.
+        let cut = cut.index(bytes.len());
+        prop_assert!(btrw::from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} decoded");
+    }
+
+    #[test]
+    fn bit_flipped_btrw_never_panics(
+        words in proptest::collection::vec(any::<u64>(), 0..96),
+        flip_byte in proptest::arbitrary::any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = btrw::to_bytes(&value_from_words(&words, false));
+        let at = flip_byte.index(bytes.len());
+        bytes[at] ^= 1 << flip_bit;
+        // A single flipped bit may or may not still be a wellformed tree
+        // (flips inside string payloads are), but it must never panic, and
+        // whatever does decode must re-encode decodably.
+        if let Ok(back) = btrw::from_bytes(&bytes) {
+            let reencoded = btrw::to_bytes(&back);
+            prop_assert!(btrw::from_bytes(&reencoded).is_ok());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_btrw_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = btrw::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_json_parser(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let _ = json::from_str(&String::from_utf8_lossy(&bytes));
+    }
+}

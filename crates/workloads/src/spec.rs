@@ -6,6 +6,7 @@ use crate::cell::{CellTarget, JointCell};
 use crate::generator::{StaticBranchSpec, WorkloadGenerator};
 use crate::table2;
 use btr_trace::{BranchAddr, Trace};
+use btr_wire::{MapBuilder, Value, Wire, WireError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +60,34 @@ impl SuiteConfig {
     pub fn with_min_executions_per_branch(mut self, min: u64) -> Self {
         self.min_executions_per_branch = min.max(1);
         self
+    }
+}
+
+/// [`SuiteConfig`] encodes its three generation parameters verbatim, so a
+/// shard work unit can ship the exact configuration a worker must regenerate
+/// traces from (generation is deterministic per configuration, pinned by
+/// `generation_is_deterministic_per_config`).
+impl Wire for SuiteConfig {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("scale", self.scale)
+            .field("seed", self.seed)
+            .field("min_executions_per_branch", self.min_executions_per_branch)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let scale = value.get("scale")?.as_f64()?;
+        if scale.is_nan() || scale <= 0.0 {
+            return Err(WireError::schema(format!(
+                "suite scale must be positive, got {scale}"
+            )));
+        }
+        Ok(SuiteConfig {
+            scale,
+            seed: value.get("seed")?.as_u64()?,
+            min_executions_per_branch: value.get("min_executions_per_branch")?.as_u64()?.max(1),
+        })
     }
 }
 
@@ -284,6 +313,40 @@ impl Benchmark {
             generator.add_branch(spec);
         }
         generator.generate()
+    }
+}
+
+/// [`Benchmark`] encodes every descriptor field verbatim. Together with a
+/// [`SuiteConfig`] this fully determines the generated trace, so shard
+/// coordinators dispatch benchmark descriptors instead of trace bytes.
+impl Wire for Benchmark {
+    fn to_value(&self) -> Value {
+        MapBuilder::new()
+            .field("name", self.name.as_str())
+            .field("input_set", self.input_set.as_str())
+            .field("paper_dynamic_branches", self.paper_dynamic_branches)
+            .field("static_branches", self.static_branches as u64)
+            .field("hard_clustering", self.hard_clustering)
+            .field("text_base", self.text_base)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let hard_clustering = value.get("hard_clustering")?.as_f64()?;
+        if !(0.0..=1.0).contains(&hard_clustering) {
+            return Err(WireError::schema(format!(
+                "hard_clustering must be a fraction in [0, 1], got {hard_clustering}"
+            )));
+        }
+        Ok(Benchmark {
+            name: value.get("name")?.as_str()?.to_string(),
+            input_set: value.get("input_set")?.as_str()?.to_string(),
+            paper_dynamic_branches: value.get("paper_dynamic_branches")?.as_u64()?,
+            static_branches: usize::try_from(value.get("static_branches")?.as_u64()?)
+                .map_err(|_| WireError::schema("static branch count exceeds usize"))?,
+            hard_clustering,
+            text_base: value.get("text_base")?.as_u64()?,
+        })
     }
 }
 
