@@ -1,0 +1,98 @@
+//! Serving overhead of `btrd`: the full socket round-trip — HTTP parse,
+//! streamed BTRT decode, classification (and the fused sweep), JSON encode —
+//! against an in-process server, vs the cache-replay fast path. Throughput
+//! unit is uploaded records/iteration, comparable to `streaming_throughput`
+//! (which prices the decode alone) so the delta is the serving tax.
+
+use btr_serve::client::{send, ClientRequest};
+use btr_serve::{Server, ServerConfig, ServerHandle};
+use btr_trace::io::binary;
+use btr_workloads::{Benchmark, SuiteConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn spawn(cache_entries: usize) -> (String, ServerHandle) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_entries,
+        ..ServerConfig::default()
+    };
+    let (handle, _join) = Server::spawn(config).expect("ephemeral server spawns");
+    (handle.addr().to_string(), handle)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let trace = Benchmark::compress().generate(&SuiteConfig::default().with_scale(2e-5));
+    let records = trace.len() as u64;
+    let mut body = Vec::new();
+    binary::write_trace(&mut body, &trace).expect("in-memory BTRT encode");
+    eprintln!(
+        "serve workload: {records} records, {} BTRT bytes per upload",
+        body.len()
+    );
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(records));
+
+    // Cache disabled: every request pays the full streamed analysis.
+    let (addr, _handle) = spawn(0);
+    group.bench_function("classify/uncached", |b| {
+        b.iter(|| {
+            let resp = send(
+                &addr,
+                &ClientRequest::post("/classify", black_box(body.clone())),
+                TIMEOUT,
+            )
+            .expect("classify round-trip");
+            assert_eq!(resp.status, 200);
+            resp.body.len()
+        })
+    });
+    group.bench_function("sweep/uncached_h0-8", |b| {
+        b.iter(|| {
+            let resp = send(
+                &addr,
+                &ClientRequest::post("/sweep?histories=0,1,2,4,8", black_box(body.clone())),
+                TIMEOUT,
+            )
+            .expect("sweep round-trip");
+            assert_eq!(resp.status, 200);
+            resp.body.len()
+        })
+    });
+
+    // Cache enabled and primed: the digest replay path skips the upload.
+    let (cached_addr, _cached_handle) = spawn(64);
+    let first = send(
+        &cached_addr,
+        &ClientRequest::post("/classify", body.clone()),
+        TIMEOUT,
+    )
+    .expect("priming upload");
+    assert_eq!(first.status, 200);
+    let digest = first
+        .header("x-btr-digest")
+        .expect("analysis responses carry a digest")
+        .to_string();
+    group.bench_function("classify/cache_replay", |b| {
+        b.iter(|| {
+            let resp = send(
+                &cached_addr,
+                &ClientRequest::post("/classify", Vec::new())
+                    .with_header("X-Btr-Digest", black_box(&digest).as_str()),
+                TIMEOUT,
+            )
+            .expect("replay round-trip");
+            assert_eq!(resp.header("x-btr-cache"), Some("hit"));
+            resp.body.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -1,0 +1,501 @@
+//! Request parameters and the per-request analysis drivers.
+//!
+//! Both endpoints stream the upload exactly once: the body bytes flow
+//! through [`crate::digest::DigestReader`] (content addressing) into
+//! [`ChunkedTraceReader`] (bounded decode), and every decoded record is
+//! observed into a [`TraceStats`] on the way past — classification,
+//! simulation and profiling all ride the same pass. Peak memory per request
+//! is one chunk plus the interning/statistics tables, independent of upload
+//! length; the distinct-branch tables are additionally capped by the
+//! static-branch budget.
+
+use crate::error::ServeError;
+use btr_core::advisor::{ClassRecommendation, ComponentStyle, HybridAdvisor};
+use btr_core::analysis::{ClassHistoryMatrix, ClassMissRates, ClassificationAnalysis};
+use btr_core::class::BinningScheme;
+use btr_core::distribution::{ClassDistribution, Metric};
+use btr_core::joint::JointClassTable;
+use btr_core::profile::ProgramProfile;
+use btr_sim::config::PredictorFamily;
+use btr_sim::engine::SimEngine;
+use btr_sim::sweep::SweepResult;
+use btr_trace::io::chunked::TraceChunk;
+use btr_trace::stats::TraceStats;
+use btr_trace::{ChunkedTraceReader, TraceMetadata};
+use btr_wire::{MapBuilder, Value, Wire};
+use std::cell::Cell;
+use std::io::Read;
+use stealpool::WorkStealingPool;
+
+/// How an upload body is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFormat {
+    /// The `BTRT` binary trace format (`application/x-btrt`, the default).
+    Btrt,
+    /// The line-oriented text trace format (`text/plain`).
+    Text,
+}
+
+impl BodyFormat {
+    /// Maps a `Content-Type` header to a body format; absent means `BTRT`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown content types are a 400 — silently guessing the framing of a
+    /// binary upload corrupts the decode in confusing ways.
+    pub fn from_content_type(header: Option<&str>) -> Result<BodyFormat, ServeError> {
+        let Some(raw) = header else {
+            return Ok(BodyFormat::Btrt);
+        };
+        let essence = raw.split(';').next().unwrap_or_default().trim();
+        match essence {
+            "" | "application/x-btrt" | "application/octet-stream" => Ok(BodyFormat::Btrt),
+            "text/plain" => Ok(BodyFormat::Text),
+            other => Err(ServeError::BadRequest(format!(
+                "unsupported Content-Type {other:?} (expected application/x-btrt or text/plain)"
+            ))),
+        }
+    }
+}
+
+/// Parses a `scheme` query parameter: `paper11` (default), `chang6`, or
+/// `uniformN` with `2 <= N <= 64`.
+pub fn parse_scheme(raw: Option<&str>) -> Result<BinningScheme, ServeError> {
+    match raw {
+        None | Some("paper11") => Ok(BinningScheme::Paper11),
+        Some("chang6") => Ok(BinningScheme::Chang6),
+        Some(text) => {
+            if let Some(n) = text.strip_prefix("uniform") {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| ServeError::BadRequest(format!("unparseable scheme {text:?}")))?;
+                if !(2..=64).contains(&n) {
+                    return Err(ServeError::BadRequest(format!(
+                        "uniform scheme wants 2..=64 classes, got {n}"
+                    )));
+                }
+                Ok(BinningScheme::Uniform(n))
+            } else {
+                Err(ServeError::BadRequest(format!(
+                    "unknown scheme {text:?} (expected paper11, chang6 or uniformN)"
+                )))
+            }
+        }
+    }
+}
+
+/// Renders a scheme back to its query-parameter form (for cache keys).
+pub fn scheme_param(scheme: BinningScheme) -> String {
+    match scheme {
+        BinningScheme::Paper11 => "paper11".into(),
+        BinningScheme::Chang6 => "chang6".into(),
+        BinningScheme::Uniform(n) => format!("uniform{n}"),
+    }
+}
+
+/// Parses a `metric` query parameter: `transition` (default) or `taken`.
+pub fn parse_metric(raw: Option<&str>) -> Result<Metric, ServeError> {
+    match raw {
+        None | Some("transition") => Ok(Metric::TransitionRate),
+        Some("taken") => Ok(Metric::TakenRate),
+        Some(other) => Err(ServeError::BadRequest(format!(
+            "unknown metric {other:?} (expected taken or transition)"
+        ))),
+    }
+}
+
+/// Parses a `family` query parameter: `pas` (default) or `gas`.
+pub fn parse_family(raw: Option<&str>) -> Result<PredictorFamily, ServeError> {
+    match raw {
+        None | Some("pas") => Ok(PredictorFamily::PAs),
+        Some("gas") => Ok(PredictorFamily::GAs),
+        Some(other) => Err(ServeError::BadRequest(format!(
+            "unknown family {other:?} (expected pas or gas)"
+        ))),
+    }
+}
+
+/// Parses a `histories` query parameter: a comma list of history lengths,
+/// deduplicated and sorted; defaults to `0,1,2,4,8` when absent. Each entry
+/// must fit the family's pattern tables.
+pub fn parse_histories(raw: Option<&str>, family: PredictorFamily) -> Result<Vec<u32>, ServeError> {
+    let mut histories: Vec<u32> = match raw {
+        None | Some("") => vec![0, 1, 2, 4, 8],
+        Some(text) => text
+            .split(',')
+            .map(|part| {
+                part.trim().parse::<u32>().map_err(|_| {
+                    ServeError::BadRequest(format!("unparseable history length {part:?}"))
+                })
+            })
+            .collect::<Result<Vec<u32>, ServeError>>()?,
+    };
+    histories.sort_unstable();
+    histories.dedup();
+    if histories.is_empty() {
+        return Err(ServeError::BadRequest("empty history list".into()));
+    }
+    let max = family.max_history();
+    if let Some(&too_big) = histories.iter().find(|&&h| h > max) {
+        return Err(ServeError::BadRequest(format!(
+            "history {too_big} exceeds {} bits for family {}",
+            max,
+            family.label()
+        )));
+    }
+    Ok(histories)
+}
+
+/// Per-request resource budgets, copied from the server config.
+#[derive(Debug, Clone, Copy)]
+pub struct Budgets {
+    /// Records per decoded chunk (bounds the chunk buffer).
+    pub chunk_records: usize,
+    /// Distinct static conditional branches per upload (bounds the
+    /// interning, statistics and per-slot predictor tables).
+    pub max_static_branches: usize,
+}
+
+/// What one streamed analysis produced, plus accounting for the metrics.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// The response document.
+    pub value: Value,
+    /// Records decoded from the upload.
+    pub records: u64,
+}
+
+/// Streams `body` once and renders the classification document: metadata,
+/// both class distributions, the joint table, the misprediction analysis and
+/// the §5.4 advisor recommendations.
+///
+/// # Errors
+///
+/// Decode failures surface as 422s, transport failures as 408/500s, budget
+/// exhaustion as 413s.
+pub fn run_classify<R: Read>(
+    body: R,
+    format: BodyFormat,
+    scheme: BinningScheme,
+    budgets: Budgets,
+) -> Result<AnalysisOutcome, ServeError> {
+    let mut stats = TraceStats::new();
+    let (metadata, records) = match format {
+        BodyFormat::Btrt => {
+            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
+                .map_err(ServeError::from_trace)?;
+            let metadata = reader.metadata().clone();
+            let records = observe_all(&mut reader, &mut stats, budgets)?;
+            (metadata, records)
+        }
+        BodyFormat::Text => {
+            let mut reader = ChunkedTraceReader::text(body, budgets.chunk_records);
+            let records = observe_all(&mut reader, &mut stats, budgets)?;
+            let metadata = reader.source().metadata().clone();
+            (metadata, records)
+        }
+    };
+    let profile = ProgramProfile::from_stats(&stats);
+    let table = JointClassTable::from_profile(&profile, scheme);
+    let value = MapBuilder::new()
+        .field("metadata", metadata.to_value())
+        .field("records", records)
+        .field("conditional", stats.total_conditional())
+        .field("static_branches", profile.static_count() as u64)
+        .field("scheme", scheme.to_value())
+        .field(
+            "taken_distribution",
+            ClassDistribution::from_profile(&profile, Metric::TakenRate, scheme).to_value(),
+        )
+        .field(
+            "transition_distribution",
+            ClassDistribution::from_profile(&profile, Metric::TransitionRate, scheme).to_value(),
+        )
+        .field("joint", table.to_value())
+        .field(
+            "analysis",
+            ClassificationAnalysis::from_table(&table).to_value(),
+        )
+        .field(
+            "advisor",
+            Value::List(
+                HybridAdvisor::new(scheme)
+                    .recommend(&table)
+                    .iter()
+                    .map(recommendation_to_value)
+                    .collect(),
+            ),
+        )
+        .build();
+    Ok(AnalysisOutcome { value, records })
+}
+
+/// Streams `body` once through the fused multi-history engine and renders
+/// the sweep document: the full [`SweepResult`] plus the class × history
+/// miss matrix for the requested metric. Per-history class aggregation fans
+/// out across `pool`.
+///
+/// # Errors
+///
+/// Same taxonomy as [`run_classify`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep<R: Read>(
+    body: R,
+    format: BodyFormat,
+    scheme: BinningScheme,
+    metric: Metric,
+    family: PredictorFamily,
+    histories: &[u32],
+    budgets: Budgets,
+    pool: &WorkStealingPool,
+) -> Result<AnalysisOutcome, ServeError> {
+    let mut stats = TraceStats::new();
+    let mut fused = family.fused_paper(histories);
+    let engine = SimEngine::new();
+    let budget_hit = Cell::new(false);
+    let (metadata, results, records) = match format {
+        BodyFormat::Btrt => {
+            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
+                .map_err(ServeError::from_trace)?;
+            let metadata = reader.metadata().clone();
+            let results = engine.run_fused_streamed(
+                Observing {
+                    inner: &mut reader,
+                    stats: &mut stats,
+                    budgets,
+                    budget_hit: &budget_hit,
+                },
+                &mut fused,
+            );
+            let records = reader.records_read();
+            (metadata, results, records)
+        }
+        BodyFormat::Text => {
+            let mut reader = ChunkedTraceReader::text(body, budgets.chunk_records);
+            let results = engine.run_fused_streamed(
+                Observing {
+                    inner: &mut reader,
+                    stats: &mut stats,
+                    budgets,
+                    budget_hit: &budget_hit,
+                },
+                &mut fused,
+            );
+            let records = reader.records_read();
+            let metadata = reader.source().metadata().clone();
+            (metadata, results, records)
+        }
+    };
+    let results = match results {
+        Ok(results) => results,
+        Err(e) => {
+            if budget_hit.get() {
+                return Err(ServeError::BudgetExceeded {
+                    what: "static branches",
+                    limit: budgets.max_static_branches as u64,
+                });
+            }
+            return Err(ServeError::from_trace(e));
+        }
+    };
+    let profile = ProgramProfile::from_stats(&stats);
+    let parts: Vec<(u32, btr_sim::engine::RunResult)> =
+        histories.iter().copied().zip(results).collect();
+    let sweep = SweepResult::from_parts(family, parts);
+    // Per-history class aggregation is independent across histories — the
+    // post-processing fan-out the work-stealing pool exists for.
+    let rows: Vec<(u32, ClassMissRates)> =
+        pool.run(sweep.runs().iter().collect(), |_, (history, misses)| {
+            (
+                *history,
+                ClassMissRates::aggregate(&profile, metric, scheme, misses),
+            )
+        });
+    let matrix = ClassHistoryMatrix::from_runs(&rows);
+    let value = MapBuilder::new()
+        .field("metadata", metadata.to_value())
+        .field("records", records)
+        .field("conditional", stats.total_conditional())
+        .field("static_branches", profile.static_count() as u64)
+        .field("family", family.to_value())
+        .field(
+            "histories",
+            Value::List(
+                histories
+                    .iter()
+                    .map(|&h| Value::from(u64::from(h)))
+                    .collect(),
+            ),
+        )
+        .field("scheme", scheme.to_value())
+        .field("metric", metric.to_value())
+        .field("sweep", sweep.to_value())
+        .field("class_history", matrix.to_value())
+        .build();
+    Ok(AnalysisOutcome { value, records })
+}
+
+/// Drains a chunk reader, observing every record and enforcing the
+/// static-branch budget after each chunk.
+fn observe_all<I>(
+    reader: &mut I,
+    stats: &mut TraceStats,
+    budgets: Budgets,
+) -> Result<u64, ServeError>
+where
+    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
+{
+    let mut records = 0u64;
+    for chunk in reader {
+        let chunk = chunk.map_err(ServeError::from_trace)?;
+        records += chunk.len() as u64;
+        for record in chunk.records() {
+            stats.observe(record);
+        }
+        if stats.static_conditional_count() > budgets.max_static_branches {
+            return Err(ServeError::BudgetExceeded {
+                what: "static branches",
+                limit: budgets.max_static_branches as u64,
+            });
+        }
+    }
+    Ok(records)
+}
+
+/// Tees a chunk stream into [`TraceStats`] while the fused engine consumes
+/// it, and injects an error the moment the static-branch budget is crossed
+/// (flagged out-of-band so the caller can map it to a 413, not a 422).
+struct Observing<'a, I> {
+    inner: &'a mut I,
+    stats: &'a mut TraceStats,
+    budgets: Budgets,
+    budget_hit: &'a Cell<bool>,
+}
+
+impl<I> Iterator for Observing<'_, I>
+where
+    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
+{
+    type Item = btr_trace::Result<TraceChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let chunk = self.inner.next()?;
+        if let Ok(chunk) = &chunk {
+            for record in chunk.records() {
+                self.stats.observe(record);
+            }
+            if self.stats.static_conditional_count() > self.budgets.max_static_branches {
+                self.budget_hit.set(true);
+                return Some(Err(btr_trace::TraceError::Io(std::io::Error::other(
+                    "static-branch budget exceeded",
+                ))));
+            }
+        }
+        Some(chunk)
+    }
+}
+
+/// Lowers one advisor recommendation to the wire data model.
+fn recommendation_to_value(rec: &ClassRecommendation) -> Value {
+    MapBuilder::new()
+        .field("taken_class", rec.taken_class.index() as u64)
+        .field("transition_class", rec.transition_class.index() as u64)
+        .field("style", style_label(rec.style))
+        .field("history_bits", u64::from(rec.history_bits))
+        .field("dynamic_percent", rec.dynamic_percent)
+        .build()
+}
+
+/// The stable string form of a component style.
+fn style_label(style: ComponentStyle) -> &'static str {
+    match style {
+        ComponentStyle::StaticTaken => "static-taken",
+        ComponentStyle::StaticNotTaken => "static-not-taken",
+        ComponentStyle::ShortHistoryPAs => "short-history-pas",
+        ComponentStyle::LongHistoryPAs => "long-history-pas",
+        ComponentStyle::LongHistoryGAs => "long-history-gas",
+        ComponentStyle::NonPredictive => "non-predictive",
+    }
+}
+
+/// A trivial metadata document for error responses (kept here so every
+/// response body, success or failure, is rendered through the same writer).
+pub fn error_body(err: &ServeError) -> Value {
+    MapBuilder::new()
+        .field("error", err.code())
+        .field("status", u64::from(err.status()))
+        .field("detail", err.to_string())
+        .build()
+}
+
+/// Convenience re-export: metadata type the endpoint documents embed.
+pub type Metadata = TraceMetadata;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_parsing_accepts_the_documented_forms() {
+        assert_eq!(
+            parse_scheme(None).expect("default scheme"),
+            BinningScheme::Paper11
+        );
+        assert_eq!(
+            parse_scheme(Some("uniform8")).expect("uniform scheme"),
+            BinningScheme::Uniform(8)
+        );
+        assert_eq!(
+            parse_scheme(Some("chang6")).expect("chang scheme"),
+            BinningScheme::Chang6
+        );
+        assert_eq!(
+            parse_metric(Some("taken")).expect("metric"),
+            Metric::TakenRate
+        );
+        assert_eq!(
+            parse_family(Some("gas")).expect("family"),
+            PredictorFamily::GAs
+        );
+        assert_eq!(
+            parse_histories(Some("8,0,4,0"), PredictorFamily::PAs).expect("histories"),
+            vec![0, 4, 8]
+        );
+        assert_eq!(
+            parse_histories(None, PredictorFamily::PAs).expect("default"),
+            vec![0, 1, 2, 4, 8]
+        );
+    }
+
+    #[test]
+    fn parameter_parsing_rejects_junk_with_400s() {
+        for err in [
+            parse_scheme(Some("uniform1")).expect_err("too few classes"),
+            parse_scheme(Some("uniform999")).expect_err("too many classes"),
+            parse_scheme(Some("nonsense")).expect_err("unknown scheme"),
+            parse_metric(Some("swing")).expect_err("unknown metric"),
+            parse_family(Some("sas")).expect_err("unknown family"),
+            parse_histories(Some("2,banana"), PredictorFamily::PAs).expect_err("junk entry"),
+            parse_histories(Some("99"), PredictorFamily::PAs).expect_err("history too long"),
+            BodyFormat::from_content_type(Some("application/json"))
+                .map(|_| ())
+                .expect_err("json uploads are not traces"),
+        ] {
+            assert_eq!(err.status(), 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn scheme_params_roundtrip() {
+        for scheme in [
+            BinningScheme::Paper11,
+            BinningScheme::Chang6,
+            BinningScheme::Uniform(5),
+        ] {
+            assert_eq!(
+                parse_scheme(Some(&scheme_param(scheme))).expect("roundtrip"),
+                scheme
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Content digests for the response cache.
+//!
+//! Uploads are addressed by an FNV-1a 64-bit digest of the raw body bytes,
+//! computed *while* the body streams through the trace decoder — the server
+//! never buffers an upload to hash it. The digest is deterministic across
+//! processes and platforms (pure byte arithmetic, no keying), which is what
+//! lets a client learn a digest from one response's `X-Btr-Digest` header
+//! and replay it against another server instance.
+
+use std::io::Read;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as the 16-hex-digit form used in `X-Btr-Digest`.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Hashes and counts every byte that passes through it, so digesting rides
+/// the existing streaming read instead of a second pass.
+#[derive(Debug)]
+pub struct DigestReader<R> {
+    inner: R,
+    hasher: Fnv64,
+    bytes: u64,
+}
+
+impl<R: Read> DigestReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        DigestReader {
+            inner,
+            hasher: Fnv64::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The digest of the bytes read so far.
+    pub fn digest(&self) -> Fnv64 {
+        self.hasher
+    }
+
+    /// How many bytes have been read through this wrapper.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<R: Read> Read for DigestReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.update(&buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_the_published_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+        assert_eq!(h.hex(), "85944171f73967e8");
+    }
+
+    #[test]
+    fn split_updates_equal_one_shot_updates() {
+        let mut whole = Fnv64::new();
+        whole.update(b"branch transition rate");
+        let mut split = Fnv64::new();
+        split.update(b"branch ");
+        split.update(b"transition");
+        split.update(b" rate");
+        assert_eq!(whole.finish(), split.finish());
+    }
+
+    #[test]
+    fn digest_reader_hashes_exactly_what_passes_through() {
+        let data = b"0123456789".repeat(100);
+        let mut expected = Fnv64::new();
+        expected.update(&data);
+        let mut r = DigestReader::new(data.as_slice());
+        let mut sink = Vec::new();
+        std::io::Read::read_to_end(&mut r, &mut sink).expect("in-memory read succeeds");
+        assert_eq!(r.bytes_read(), data.len() as u64);
+        assert_eq!(r.digest().finish(), expected.finish());
+    }
+}

@@ -1,0 +1,443 @@
+//! End-to-end suite: a real `btrd` server on an ephemeral port, driven over
+//! real sockets through the shared client. Covers the success paths (both
+//! wire codecs), content-addressed cache replay, every typed failure class,
+//! the memory budgets, admission control and request timeouts.
+
+use btr_serve::client::{parse_response, send, ClientRequest, ClientResponse};
+use btr_serve::metrics::MetricsSnapshot;
+use btr_serve::{Server, ServerConfig, ServerHandle};
+use btr_trace::io::binary;
+use btr_trace::{BranchAddr, BranchRecord, Outcome, Trace, TraceMetadata};
+use btr_wire::{Value, Wire};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Spawns a server with the given config tweaks, answering its address.
+fn spawn(tweak: impl FnOnce(&mut ServerConfig)) -> (String, ServerHandle) {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    let (handle, _join) = Server::spawn(config).expect("ephemeral server must spawn");
+    (handle.addr().to_string(), handle)
+}
+
+/// A deterministic trace with a controllable static-branch population.
+fn trace(records: usize, sites: u64) -> Trace {
+    let mut out = Vec::with_capacity(records);
+    for i in 0..records {
+        let site = i as u64 % sites;
+        let addr = BranchAddr::new(0x1000 + site * 4);
+        let taken = (i / (1 + site as usize % 3)).is_multiple_of(2);
+        out.push(BranchRecord::conditional(addr, Outcome::from_bool(taken)));
+    }
+    Trace::from_records(
+        TraceMetadata::named("e2e")
+            .with_input_set("suite")
+            .with_seed(42),
+        out,
+    )
+}
+
+fn btrt(records: usize, sites: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    binary::write_trace(&mut bytes, &trace(records, sites)).expect("in-memory encode");
+    bytes
+}
+
+fn post(addr: &str, target: &str, body: Vec<u8>) -> ClientResponse {
+    send(addr, &ClientRequest::post(target, body), TIMEOUT).expect("request must complete")
+}
+
+fn get(addr: &str, target: &str) -> ClientResponse {
+    send(addr, &ClientRequest::get(target), TIMEOUT).expect("request must complete")
+}
+
+fn json(resp: &ClientResponse) -> Value {
+    Value::from_json(&resp.text()).expect("JSON body must parse")
+}
+
+fn error_code(resp: &ClientResponse) -> String {
+    json(resp)
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error documents carry a code")
+        .to_string()
+}
+
+#[test]
+fn classify_streams_btrt_and_answers_the_full_document() {
+    let (addr, _handle) = spawn(|_| {});
+    let resp = post(&addr, "/classify", btrt(5_000, 97));
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    assert_eq!(resp.header("x-btr-cache"), Some("store"));
+    assert!(resp.header("x-btr-digest").is_some());
+    let doc = json(&resp);
+    assert_eq!(
+        doc.get("records").and_then(Value::as_u64).expect("records"),
+        5_000
+    );
+    assert_eq!(
+        doc.get("static_branches")
+            .and_then(Value::as_u64)
+            .expect("static_branches"),
+        97
+    );
+    for field in [
+        "metadata",
+        "scheme",
+        "taken_distribution",
+        "transition_distribution",
+        "joint",
+        "analysis",
+        "advisor",
+    ] {
+        assert!(doc.get(field).is_ok(), "classify document missing {field}");
+    }
+    let advisor = doc
+        .get("advisor")
+        .and_then(Value::as_list)
+        .expect("advisor renders a list");
+    assert!(!advisor.is_empty(), "a 97-site trace must yield advice");
+}
+
+#[test]
+fn classify_accepts_text_traces_and_scheme_overrides() {
+    let (addr, _handle) = spawn(|_| {});
+    let text = "# e2e text\nC 1000 T\nC 1004 N\nC 1000 N\nC 1004 T\n".repeat(50);
+    let resp = send(
+        &addr,
+        &ClientRequest::post("/classify?scheme=chang6", text.into_bytes())
+            .with_header("Content-Type", "text/plain"),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json(&resp);
+    assert_eq!(
+        doc.get("scheme").and_then(Value::as_str).expect("scheme"),
+        "chang-6"
+    );
+}
+
+#[test]
+fn sweep_answers_the_history_curve_in_json_and_btrw() {
+    let (addr, _handle) = spawn(|_| {});
+    let body = btrt(4_000, 53);
+    let resp = post(
+        &addr,
+        "/sweep?family=pas&histories=0,2,4&metric=taken",
+        body.clone(),
+    );
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json(&resp);
+    assert_eq!(
+        doc.get("family").and_then(Value::as_str).expect("family"),
+        "PAs"
+    );
+    assert_eq!(
+        doc.get("histories")
+            .and_then(Value::as_u64_seq)
+            .expect("histories"),
+        vec![0, 2, 4]
+    );
+    assert!(doc.get("sweep").is_ok());
+    assert!(doc.get("class_history").is_ok());
+
+    // The same request negotiated to BTRW must carry the same document.
+    let wire = send(
+        &addr,
+        &ClientRequest::post("/sweep?family=pas&histories=0,2,4&metric=taken", body)
+            .with_header("Accept", "application/x-btrw"),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(wire.status, 200);
+    assert_eq!(wire.header("content-type"), Some("application/x-btrw"));
+    let decoded = Value::from_btrw(&wire.body).expect("BTRW body must decode");
+    // BTRW keeps packed sequences (`U64s`) that JSON canonicalizes to plain
+    // lists, so equality holds at the JSON rendering, not the value tree.
+    assert_eq!(
+        decoded.to_json().expect("decoded document renders"),
+        doc.to_json().expect("json document renders"),
+        "JSON and BTRW must encode the same document"
+    );
+}
+
+#[test]
+fn digest_replay_is_served_from_cache_without_an_upload() {
+    let (addr, _handle) = spawn(|_| {});
+    let first = post(&addr, "/classify", btrt(3_000, 31));
+    assert_eq!(first.status, 200);
+    let digest = first
+        .header("x-btr-digest")
+        .expect("analysis responses carry a digest")
+        .to_string();
+
+    // Replay by digest, no body: must be a cache hit with the same document.
+    let replay = send(
+        &addr,
+        &ClientRequest::post("/classify", Vec::new()).with_header("X-Btr-Digest", &digest),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.header("x-btr-cache"), Some("hit"));
+    assert_eq!(replay.body, first.body, "cache must replay identical bytes");
+
+    // A different digest misses the cache and falls through to the (empty)
+    // upload, which then fails as an unprocessable trace — never a hang.
+    let miss = send(
+        &addr,
+        &ClientRequest::post("/classify", Vec::new())
+            .with_header("X-Btr-Digest", "0000000000000000"),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(miss.status, 422);
+
+    // Params are part of the key: same digest, different scheme, no replay.
+    let other_params = send(
+        &addr,
+        &ClientRequest::post("/classify?scheme=uniform8", Vec::new())
+            .with_header("X-Btr-Digest", &digest),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_ne!(other_params.header("x-btr-cache"), Some("hit"));
+}
+
+#[test]
+fn truncated_and_garbage_uploads_surface_typed_422s() {
+    let (addr, _handle) = spawn(|_| {});
+    let mut cut = btrt(2_000, 19);
+    cut.truncate(cut.len() - 5);
+    let resp = post(&addr, "/classify", cut);
+    assert_eq!(resp.status, 422, "body: {}", resp.text());
+    assert_eq!(error_code(&resp), "unprocessable-trace");
+
+    let resp = post(&addr, "/classify", b"BTRT but not really".to_vec());
+    assert_eq!(resp.status, 422);
+    assert_eq!(error_code(&resp), "unprocessable-trace");
+
+    let resp = post(&addr, "/sweep", Vec::new());
+    assert_eq!(resp.status, 422);
+}
+
+#[test]
+fn bad_parameters_and_unknown_routes_are_4xx_not_500() {
+    let (addr, _handle) = spawn(|_| {});
+    let body = btrt(500, 7);
+    for target in [
+        "/sweep?family=zas",
+        "/sweep?histories=,,",
+        "/sweep?histories=99",
+        "/sweep?metric=vibes",
+        "/classify?scheme=uniform0",
+        "/classify?scheme=uniform999",
+    ] {
+        let resp = post(&addr, target, body.clone());
+        assert_eq!(resp.status, 400, "{target} body: {}", resp.text());
+        assert_eq!(error_code(&resp), "bad-request", "{target}");
+    }
+    let resp = send(
+        &addr,
+        &ClientRequest::post("/classify", body.clone())
+            .with_header("Content-Type", "application/x-tar"),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(resp.status, 400);
+
+    assert_eq!(get(&addr, "/no-such").status, 404);
+    assert_eq!(error_code(&get(&addr, "/no-such")), "not-found");
+    assert_eq!(get(&addr, "/classify").status, 405);
+    let resp = send(
+        &addr,
+        &ClientRequest {
+            method: "DELETE".into(),
+            target: "/metrics".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        },
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(resp.status, 405);
+}
+
+#[test]
+fn malformed_heads_get_a_400_over_the_raw_socket() {
+    let (addr, _handle) = spawn(|_| {});
+    for raw in [
+        "TOTAL JUNK\r\n\r\n",
+        "GET /healthz HTTP/9.9\r\n\r\n",
+        "get /healthz HTTP/1.1\r\n\r\n",
+        "GET relative-path HTTP/1.1\r\n\r\n",
+        "GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    ] {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write head");
+        let mut bytes = Vec::new();
+        stream.read_to_end(&mut bytes).expect("read response");
+        let resp = parse_response(&bytes).expect("server answers malformed heads");
+        assert_eq!(resp.status, 400, "head {raw:?}");
+    }
+}
+
+#[test]
+fn oversized_and_missing_content_lengths_are_refused_up_front() {
+    let (addr, _handle) = spawn(|config| config.max_upload_bytes = 4096);
+    // Declared over the limit: refused before any body byte is read.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /classify HTTP/1.1\r\nHost: t\r\nContent-Length: 8192\r\n\r\n")
+        .expect("write head");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response");
+    let resp = parse_response(&bytes).expect("parseable refusal");
+    assert_eq!(resp.status, 413);
+    assert_eq!(error_code(&resp), "payload-too-large");
+
+    // No Content-Length at all: a 411, because streaming needs the bound.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /classify HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write head");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response");
+    let resp = parse_response(&bytes).expect("parseable refusal");
+    assert_eq!(resp.status, 411);
+}
+
+#[test]
+fn static_branch_budget_maps_to_a_413_budget_error() {
+    let (addr, _handle) = spawn(|config| config.max_static_branches = 16);
+    // 64 distinct sites against a budget of 16: the stream is cut off
+    // mid-flight with a typed budget error on both endpoints.
+    let body = btrt(2_000, 64);
+    let resp = post(&addr, "/classify", body.clone());
+    assert_eq!(resp.status, 413, "body: {}", resp.text());
+    assert_eq!(error_code(&resp), "budget-exceeded");
+    let resp = post(&addr, "/sweep?histories=0,1", body);
+    assert_eq!(resp.status, 413, "body: {}", resp.text());
+    assert_eq!(error_code(&resp), "budget-exceeded");
+}
+
+#[test]
+fn saturation_is_a_clean_503_with_retry_after() {
+    // max_concurrent = 0 makes every analysis over capacity — the
+    // deterministic way to pin the backpressure path.
+    let (addr, _handle) = spawn(|config| config.max_concurrent = 0);
+    let resp = post(&addr, "/classify", btrt(500, 7));
+    assert_eq!(resp.status, 503, "body: {}", resp.text());
+    assert_eq!(error_code(&resp), "busy");
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    // Health stays served: admission gates analyses, not the endpoint set.
+    assert_eq!(get(&addr, "/healthz").status, 200);
+}
+
+#[test]
+fn stalled_connections_time_out_without_wedging_the_server() {
+    let (addr, _handle) = spawn(|config| config.request_timeout = Duration::from_millis(200));
+    // Open a connection and send nothing: the server must tear it down.
+    let mut stalled = TcpStream::connect(&addr).expect("connect");
+    let mut bytes = Vec::new();
+    stalled
+        .read_to_end(&mut bytes)
+        .expect("server closes the stalled connection");
+    let resp = parse_response(&bytes).expect("timeout answer is well-formed");
+    assert_eq!(resp.status, 408);
+    // And the server keeps serving.
+    assert_eq!(get(&addr, "/healthz").status, 200);
+}
+
+#[test]
+fn concurrent_uploads_all_complete_within_the_admission_bound() {
+    let (addr, _handle) = spawn(|config| {
+        config.max_concurrent = 8;
+        config.analysis_threads = 2;
+    });
+    let body = btrt(10_000, 101);
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let body = body.clone();
+                let addr = addr.as_str();
+                scope.spawn(move || {
+                    let target = format!("/sweep?histories=0,{}", 1 + i);
+                    send(addr, &ClientRequest::post(&target, body), TIMEOUT)
+                        .expect("concurrent request must complete")
+                        .status
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panics"))
+            .collect()
+    });
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "all within the bound must succeed: {statuses:?}"
+    );
+}
+
+#[test]
+fn metrics_snapshot_roundtrips_and_counts_the_traffic() {
+    let (addr, handle) = spawn(|_| {});
+    let resp = post(&addr, "/classify", btrt(1_000, 13));
+    assert_eq!(resp.status, 200);
+    let digest = resp.header("x-btr-digest").expect("digest").to_string();
+    let replay = send(
+        &addr,
+        &ClientRequest::post("/classify", Vec::new()).with_header("X-Btr-Digest", &digest),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    assert_eq!(replay.header("x-btr-cache"), Some("hit"));
+    assert_eq!(post(&addr, "/classify", b"junk".to_vec()).status, 422);
+
+    // The wire type decodes from the endpoint itself…
+    let body = get(&addr, "/metrics");
+    assert_eq!(body.status, 200);
+    let snapshot = MetricsSnapshot::from_json(&body.text()).expect("metrics decode");
+    assert!(snapshot.requests >= 4);
+    assert_eq!(snapshot.cache_hits, 1);
+    assert_eq!(snapshot.cache_misses, 1);
+    assert!(snapshot.responses_2xx >= 2);
+    assert!(snapshot.responses_4xx >= 1);
+    assert!(snapshot.bytes_streamed > 0);
+    assert_eq!(snapshot.records_decoded, 1_000);
+    assert_eq!(snapshot.active_analyses, 0);
+
+    // …and through BTRW, matching the in-process handle's view.
+    let wire = send(
+        &addr,
+        &ClientRequest::get("/metrics").with_header("Accept", "application/x-btrw"),
+        TIMEOUT,
+    )
+    .expect("request must complete");
+    let decoded = MetricsSnapshot::from_btrw(&wire.body).expect("BTRW metrics decode");
+    assert_eq!(decoded.cache_hits, 1);
+    assert_eq!(handle.metrics().cache_hits, 1);
+}
+
+#[test]
+fn shutdown_stops_the_accept_loop() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    let (handle, join) = Server::spawn(config).expect("ephemeral server must spawn");
+    let addr = handle.addr().to_string();
+    assert_eq!(get(&addr, "/healthz").status, 200);
+    handle.shutdown();
+    join.join()
+        .expect("accept thread joins")
+        .expect("accept loop exits cleanly");
+}

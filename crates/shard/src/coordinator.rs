@@ -94,9 +94,18 @@ impl Default for CoordinatorConfig {
 }
 
 /// The delay before re-issuing a unit that has failed `failures` times:
-/// `base * 2^(failures-1)`, saturating at `cap`.
+/// zero for a unit that has never failed, then `base * 2^(failures-1)`
+/// saturating at `cap` (the exponent itself is capped at 16 doublings so the
+/// shift cannot overflow).
+///
+/// `failures = 0` returning [`Duration::ZERO`] matters: a unit scheduled
+/// through this function without any recorded failure must not inherit the
+/// first-failure delay (`saturating_sub` used to fold 0 and 1 together).
 pub fn backoff_delay(failures: u32, base: Duration, cap: Duration) -> Duration {
-    let doublings = failures.saturating_sub(1).min(16);
+    if failures == 0 {
+        return Duration::ZERO;
+    }
+    let doublings = (failures - 1).min(16);
     base.saturating_mul(1u32 << doublings).min(cap)
 }
 
@@ -355,6 +364,45 @@ mod tests {
         assert_eq!(backoff_delay(3, base, cap), Duration::from_millis(100));
         assert_eq!(backoff_delay(7, base, cap), cap, "saturates at the cap");
         assert_eq!(backoff_delay(40, base, cap), cap, "huge counts stay capped");
-        assert_eq!(backoff_delay(0, base, cap), base, "zero failures -> base");
+    }
+
+    #[test]
+    fn zero_failures_mean_zero_delay() {
+        // A unit that has never failed must not be delayed at all if it is
+        // ever scheduled through the backoff path; `saturating_sub(1)` used
+        // to make failures=0 and failures=1 both return `base`.
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(3600);
+        assert_eq!(backoff_delay(0, base, cap), Duration::ZERO);
+        assert!(backoff_delay(1, base, cap) > Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_is_exhaustive_over_small_values_and_caps_the_exponent() {
+        let base = Duration::from_millis(1);
+        // A cap high enough that the exponent cap (16 doublings) is what
+        // binds, not the duration cap.
+        let cap = Duration::from_secs(1 << 20);
+        for failures in 0..=64u32 {
+            let expected = if failures == 0 {
+                Duration::ZERO
+            } else {
+                let doublings = (failures - 1).min(16);
+                base.saturating_mul(1u32 << doublings).min(cap)
+            };
+            assert_eq!(backoff_delay(failures, base, cap), expected, "{failures}");
+        }
+        // Every count past 17 failures sits at the doublings=16 plateau.
+        let plateau = base * (1 << 16);
+        assert_eq!(backoff_delay(17, base, cap), plateau);
+        assert_eq!(backoff_delay(18, base, cap), plateau);
+        assert_eq!(backoff_delay(u32::MAX, base, cap), plateau);
+        // And the monotone staircase never decreases below the plateau.
+        let mut prev = Duration::ZERO;
+        for failures in 0..=20u32 {
+            let delay = backoff_delay(failures, base, cap);
+            assert!(delay >= prev, "delay regressed at {failures}");
+            prev = delay;
+        }
     }
 }

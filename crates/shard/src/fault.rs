@@ -103,13 +103,23 @@ impl FaultPlan {
     /// Parses the `key=value` comma list used by `BTR_FAULT`, e.g.
     /// `seed=42,percent=100,kinds=crash-before+stall,max=1,stall-ms=5000`.
     /// Kinds default to all, percent to 100, max to 1.
+    ///
+    /// Every key may appear at most once: `percent=10,percent=90` is a typo
+    /// (or a stale copy-paste) that last-write-wins would silently mask, and
+    /// a fault plan that injects 90% instead of the 10% a CI job asked for
+    /// invalidates the run it gates. Duplicates are a typed error instead.
     pub fn parse(text: &str) -> Result<Self, ShardError> {
         let mut plan = FaultPlan::every_first_attempt(0);
+        let mut seen: Vec<&str> = Vec::new();
         for part in text.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| bad_plan(format!("expected key=value, got {part:?}")))?;
             let (key, value) = (key.trim(), value.trim());
+            if seen.contains(&key) {
+                return Err(bad_plan(format!("duplicate fault plan key {key:?}")));
+            }
+            seen.push(key);
             match key {
                 "seed" => plan.seed = parse_u64(key, value)?,
                 "percent" => {
@@ -242,6 +252,41 @@ mod tests {
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("seed").is_err());
         assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_not_last_write_win() {
+        // `percent=10,percent=90` is a typo a CI fault plan must not mask.
+        for dup in [
+            "percent=10,percent=90",
+            "seed=1,seed=2",
+            "max=1,max=3",
+            "stall-ms=5,stall-ms=50",
+            "kinds=stall,kinds=crash-before",
+            "seed=1,percent=50, seed =2",
+        ] {
+            let err = FaultPlan::parse(dup).expect_err("duplicate key must not parse");
+            assert!(
+                err.to_string().contains("duplicate fault plan key"),
+                "{dup:?}: {err}"
+            );
+        }
+        // Distinct keys in any order still parse.
+        let plan = FaultPlan::parse("percent=10,seed=9,max=2").expect("distinct keys parse");
+        assert_eq!(plan.percent, 10);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.max_faults_per_unit, 2);
+    }
+
+    #[test]
+    fn unknown_keys_are_typed_errors() {
+        for bad in ["bogus=1", "percent=10,percnet=20", "Seed=1"] {
+            let err = FaultPlan::parse(bad).expect_err("unknown key must not parse");
+            assert!(
+                err.to_string().contains("unknown fault plan key"),
+                "{bad:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -93,7 +93,15 @@ fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
 
 fn read_exact<R: Read, const N: usize>(r: &mut R, context: &'static str) -> Result<[u8; N]> {
     let mut buf = [0u8; N];
-    r.read_exact(&mut buf).map_err(|e| {
+    read_exact_into(r, &mut buf, context)?;
+    Ok(buf)
+}
+
+/// [`Read::read_exact`] with the same contextual-EOF mapping as
+/// [`read_exact`], for the variable-length header fields (the benchmark and
+/// input-set names) whose size is only known at run time.
+fn read_exact_into<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             TraceError::UnexpectedEof {
                 context: context.into(),
@@ -101,8 +109,7 @@ fn read_exact<R: Read, const N: usize>(r: &mut R, context: &'static str) -> Resu
         } else {
             TraceError::Io(e)
         }
-    })?;
-    Ok(buf)
+    })
 }
 
 /// Writes a whole trace in the `BTRT` binary format.
@@ -206,10 +213,10 @@ impl<R: Read> BinaryRecordReader<R> {
         let declared = u64::from_le_bytes(read_exact(&mut reader, "record count")?);
         let bench_len = u16::from_le_bytes(read_exact(&mut reader, "benchmark length")?) as usize;
         let mut bench = vec![0u8; bench_len];
-        reader.read_exact(&mut bench)?;
+        read_exact_into(&mut reader, &mut bench, "benchmark name")?;
         let input_len = u16::from_le_bytes(read_exact(&mut reader, "input length")?) as usize;
         let mut input = vec![0u8; input_len];
-        reader.read_exact(&mut input)?;
+        read_exact_into(&mut reader, &mut input, "input name")?;
         let seed_flag: [u8; 1] = read_exact(&mut reader, "seed flag")?;
         let seed = if seed_flag[0] == 1 {
             Some(u64::from_le_bytes(read_exact(&mut reader, "seed")?))
@@ -454,6 +461,58 @@ mod tests {
             matches!(&err, TraceError::UnexpectedEof { context } if context == "record count"),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn truncation_inside_the_benchmark_name_is_contextual() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("writing to a Vec cannot fail");
+        // Header prefix: magic (4) + version (4) + count (8) + bench_len (2)
+        // = 18 bytes; "gcc" is 3 bytes, so cutting at 19 lands mid-name.
+        buf.truncate(19);
+        let err = read_trace(&mut buf.as_slice()).expect_err("truncated header must not decode");
+        assert!(
+            matches!(&err, TraceError::UnexpectedEof { context } if context == "benchmark name"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_inside_the_input_name_is_contextual() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("writing to a Vec cannot fail");
+        // 18 bytes of fixed header + "gcc" (3) + input_len (2) = 23 bytes;
+        // "cccp.i" is 6 bytes, so any cut in (23, 29) lands mid-name.
+        buf.truncate(25);
+        let err = read_trace(&mut buf.as_slice()).expect_err("truncated header must not decode");
+        assert!(
+            matches!(&err, TraceError::UnexpectedEof { context } if context == "input name"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn every_header_truncation_offset_yields_a_contextual_error() {
+        // Sweep every proper prefix of the header: each cut must surface as
+        // the typed contextual EOF, never a bare `TraceError::Io`.
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("writing to a Vec cannot fail");
+        let header_len = BinaryRecordReader::new(buf.as_slice())
+            .expect("intact header decodes")
+            .byte_offset() as usize;
+        for cut in 4..header_len {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            let err =
+                read_trace(&mut short.as_slice()).expect_err("truncated header must not decode");
+            assert!(
+                matches!(err, TraceError::UnexpectedEof { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -73,6 +73,228 @@ fn drain<I: Iterator<Item = btr_trace::Result<BranchRecord>>>(
     (records, conditional, addrs)
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial socket-shaped readers: network sources hand the decoder bytes
+// in whatever fragments the kernel felt like, and signals surface as
+// `ErrorKind::Interrupted` mid-stream. None of that may change the decoded
+// chunks by a single bit.
+// ---------------------------------------------------------------------------
+
+use std::io::Read;
+
+/// Yields at most `max` bytes per `read` call — the 1-byte case is the
+/// worst fragmentation a TCP stream can legally produce.
+struct TrickleReader<'a> {
+    data: &'a [u8],
+    max: usize,
+}
+
+impl Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.data.len().min(buf.len()).min(self.max);
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+/// Never lets a `read` cross one of the configured split offsets, so a
+/// boundary sitting exactly between header and body (or between records)
+/// forces a short read right there.
+struct BoundarySplitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    splits: Vec<usize>,
+}
+
+impl Read for BoundarySplitReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.data.len() - self.pos;
+        let mut n = remaining.min(buf.len());
+        for &split in &self.splits {
+            if split > self.pos {
+                n = n.min(split - self.pos);
+                break;
+            }
+        }
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Returns `ErrorKind::Interrupted` before every successful read and then
+/// yields at most `max` bytes — a signal-storm socket.
+struct InterruptingReader<'a> {
+    inner: TrickleReader<'a>,
+    ready: bool,
+}
+
+impl<'a> InterruptingReader<'a> {
+    fn new(data: &'a [u8], max: usize) -> Self {
+        InterruptingReader {
+            inner: TrickleReader { data, max },
+            ready: false,
+        }
+    }
+}
+
+impl Read for InterruptingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if !self.ready {
+            self.ready = true;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "signal",
+            ));
+        }
+        self.ready = false;
+        self.inner.read(buf)
+    }
+}
+
+/// The record/interning state a drain produced, for whole-sale comparison.
+type Drained = (Vec<BranchRecord>, Vec<InternedRecord>, Vec<BranchAddr>);
+
+fn drain_btrt<R: Read>(reader: R, chunk_records: usize) -> Drained {
+    drain(ChunkedTraceReader::btrt(reader, chunk_records).expect("header must decode"))
+}
+
+/// A characteristic trace for the deterministic adversarial tests: mixes
+/// kinds, targets (two varints per record) and repeated addresses.
+fn adversarial_trace() -> Trace {
+    let mut records = Vec::new();
+    for i in 0..257u64 {
+        let addr = BranchAddr::new(0x40_0000 + (i % 11) * 4);
+        let mut r = BranchRecord::new(
+            addr,
+            if i % 5 == 4 {
+                BranchKind::Call
+            } else {
+                BranchKind::Conditional
+            },
+            Outcome::from_bool(i % 3 != 0),
+        );
+        if i % 7 == 6 {
+            r = r.with_target(BranchAddr::new(0x8000_0000 + i * 16));
+        }
+        records.push(r);
+    }
+    Trace::from_records(
+        TraceMetadata::named("adversarial")
+            .with_input_set("socket")
+            .with_seed(0xFEED),
+        records,
+    )
+}
+
+#[test]
+fn one_byte_reads_yield_bit_identical_chunks() {
+    let trace = adversarial_trace();
+    let mut buf = Vec::new();
+    binary::write_trace(&mut buf, &trace).unwrap();
+    let oneshot = drain_btrt(buf.as_slice(), 16);
+    for max in [1usize, 2, 3, 5] {
+        let trickled = drain_btrt(TrickleReader { data: &buf, max }, 16);
+        assert_eq!(trickled, oneshot, "max {max} bytes per read diverged");
+    }
+}
+
+#[test]
+fn reads_split_at_header_and_record_boundaries_are_bit_identical() {
+    let trace = adversarial_trace();
+    let mut buf = Vec::new();
+    binary::write_trace(&mut buf, &trace).unwrap();
+    let oneshot = drain_btrt(buf.as_slice(), 16);
+    // Recover the exact header and per-record byte boundaries from a clean
+    // decode pass.
+    let mut boundary_probe =
+        btr_trace::io::binary::BinaryRecordReader::new(buf.as_slice()).unwrap();
+    let mut splits = vec![boundary_probe.byte_offset() as usize];
+    while let Some(record) = boundary_probe.next() {
+        record.unwrap();
+        splits.push(boundary_probe.byte_offset() as usize);
+    }
+    // Every read stops at the next header/record boundary…
+    let split_all = drain_btrt(
+        BoundarySplitReader {
+            data: &buf,
+            pos: 0,
+            splits: splits.clone(),
+        },
+        16,
+    );
+    assert_eq!(split_all, oneshot, "record-boundary splits diverged");
+    // …and a sparser variant splits at the header plus every 3rd record.
+    let sparse: Vec<usize> = splits.iter().copied().step_by(3).collect();
+    let split_sparse = drain_btrt(
+        BoundarySplitReader {
+            data: &buf,
+            pos: 0,
+            splits: sparse,
+        },
+        16,
+    );
+    assert_eq!(split_sparse, oneshot, "sparse boundary splits diverged");
+}
+
+#[test]
+fn interrupted_mid_stream_reads_are_bit_identical() {
+    let trace = adversarial_trace();
+    let mut buf = Vec::new();
+    binary::write_trace(&mut buf, &trace).unwrap();
+    let oneshot = drain_btrt(buf.as_slice(), 16);
+    for max in [1usize, 2, 7] {
+        let interrupted = drain_btrt(InterruptingReader::new(&buf, max), 16);
+        assert_eq!(interrupted, oneshot, "interrupted max {max} diverged");
+    }
+    // The text decode path tolerates interrupts identically.
+    let mut text_buf = Vec::new();
+    text::write_trace(&mut text_buf, &trace).unwrap();
+    let eager_text = drain(ChunkedTraceReader::text(text_buf.as_slice(), 16));
+    let interrupted_text = drain(ChunkedTraceReader::text(
+        InterruptingReader::new(&text_buf, 1),
+        16,
+    ));
+    assert_eq!(interrupted_text, eager_text, "interrupted text diverged");
+}
+
+#[test]
+fn truncated_interrupted_streams_still_surface_the_typed_error() {
+    // Adversarial delivery must not mask genuine truncation: cutting the
+    // last byte still ends in `TruncatedRecord`, never a bare IO error.
+    let trace = adversarial_trace();
+    let mut buf = Vec::new();
+    binary::write_trace(&mut buf, &trace).unwrap();
+    buf.truncate(buf.len() - 1);
+    let mut reader =
+        ChunkedTraceReader::btrt(InterruptingReader::new(&buf, 1), 16).expect("header decodes");
+    let err = (&mut reader)
+        .filter_map(|c| c.err())
+        .next()
+        .expect("truncation must surface");
+    assert!(
+        matches!(err, btr_trace::TraceError::TruncatedRecord { .. }),
+        "{err:?}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn socket_shaped_btrt_reads_are_bit_identical(
+        trace in arb_trace(),
+        max in 1usize..4,
+    ) {
+        let mut buf = Vec::new();
+        binary::write_trace(&mut buf, &trace).unwrap();
+        let oneshot = drain_btrt(buf.as_slice(), 7);
+        let trickled = drain_btrt(TrickleReader { data: &buf, max }, 7);
+        prop_assert_eq!(&trickled, &oneshot);
+        let interrupted = drain_btrt(InterruptingReader::new(&buf, max), 7);
+        prop_assert_eq!(&interrupted, &oneshot);
+    }
+}
+
 proptest! {
     #[test]
     fn chunked_btrt_is_bit_identical_to_read_binary(trace in arb_trace()) {

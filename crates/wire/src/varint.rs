@@ -54,7 +54,16 @@ pub fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64, Wir
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        let n = r.read(&mut byte)?;
+        // Retry `ErrorKind::Interrupted` like `Read::read_exact` does: on
+        // socket-backed readers a signal mid-read is routine, not an error,
+        // and surfacing it would tear an otherwise-intact stream.
+        let n = loop {
+            match r.read(&mut byte) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        };
         if n == 0 {
             return Err(WireError::UnexpectedEof { context });
         }
@@ -137,6 +146,51 @@ mod tests {
         *too_big.last_mut().expect("ten-byte varint is non-empty") = 0x03;
         let err = read_varint(&mut too_big.as_slice(), "wide").unwrap_err();
         assert!(err.to_string().contains("overflows 64 bits"), "{err}");
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_surfaced() {
+        /// Yields one byte per call and returns `Interrupted` before every
+        /// successful read — the shape a signal-hit socket read takes.
+        struct Interrupting<'a> {
+            data: &'a [u8],
+            ready: bool,
+        }
+        impl std::io::Read for Interrupting<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "signal",
+                    ));
+                }
+                self.ready = false;
+                let n = self.data.len().min(buf.len()).min(1);
+                buf[..n].copy_from_slice(&self.data[..n]);
+                self.data = &self.data[n..];
+                Ok(n)
+            }
+        }
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+            let mut r = Interrupting {
+                data: &buf,
+                ready: false,
+            };
+            assert_eq!(
+                read_varint(&mut r, "interrupted").expect("interrupts are transparent"),
+                v
+            );
+        }
+        // A genuinely truncated interrupted stream still reports EOF.
+        let mut r = Interrupting {
+            data: &[0x80],
+            ready: false,
+        };
+        let err = read_varint(&mut r, "tail").unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { context: "tail" }));
     }
 
     #[test]
