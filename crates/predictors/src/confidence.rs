@@ -301,7 +301,7 @@ mod tests {
         // At least some mispredictions must have been flagged low-confidence
         // during warm-up, and overall accounting must balance.
         assert_eq!(stats.total(), 256);
-        assert!(stats.low_fraction().unwrap() > 0.0);
+        assert!(stats.low_fraction().expect("256 records imply a fraction") > 0.0);
     }
 
     #[test]
@@ -319,9 +319,14 @@ mod tests {
             s.record(Confidence::High, true);
         }
         assert_eq!(s.total(), 10);
-        assert!((s.misprediction_coverage().unwrap() - 0.75).abs() < 1e-12);
-        assert!((s.low_confidence_accuracy().unwrap() - 0.6).abs() < 1e-12);
-        assert!((s.low_fraction().unwrap() - 0.5).abs() < 1e-12);
+        let coverage = s
+            .misprediction_coverage()
+            .expect("4 mispredictions recorded");
+        assert!((coverage - 0.75).abs() < 1e-12);
+        let accuracy = s.low_confidence_accuracy().expect("5 low flags recorded");
+        assert!((accuracy - 0.6).abs() < 1e-12);
+        let fraction = s.low_fraction().expect("10 records imply a fraction");
+        assert!((fraction - 0.5).abs() < 1e-12);
     }
 
     #[test]

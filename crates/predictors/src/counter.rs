@@ -3,6 +3,29 @@
 
 use btr_trace::Outcome;
 
+/// One step of the canonical 2-bit saturating counter state machine:
+/// count toward the outcome, saturating at `[0, 3]`. Bit-identical to
+/// [`SaturatingCounter::train`] at width 2 (pinned by tests here and in
+/// `fused`/`swar`); this free function is the semantic anchor the packed
+/// fused arena and the SWAR word/table tiers are all checked against.
+///
+/// Both directions are computed and selected between so the compiler emits a
+/// conditional move: `taken` is the branch outcome stream itself, the one
+/// data-dependent value in a replay loop a branch predictor *cannot* learn
+/// (hard branches are the interesting ones), so an actual branch here would
+/// pay a misprediction per hard record per slot.
+#[inline]
+#[must_use]
+pub fn two_bit_step(value: u8, taken: bool) -> u8 {
+    let up = (value + 1).min(3);
+    let down = value.saturating_sub(1);
+    if taken {
+        up
+    } else {
+        down
+    }
+}
+
 /// An `n`-bit saturating counter in the range `[0, 2^n - 1]`.
 ///
 /// Values in the upper half predict *taken*, values in the lower half predict
@@ -169,6 +192,21 @@ impl CappedCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn two_bit_step_matches_saturating_counter_everywhere() {
+        for value in 0u8..=3 {
+            for taken in [false, true] {
+                let mut reference = SaturatingCounter::with_value(2, value);
+                reference.train(Outcome::from_bool(taken));
+                assert_eq!(
+                    two_bit_step(value, taken),
+                    reference.value(),
+                    "diverged at value {value}, taken {taken}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn two_bit_counter_follows_classic_state_machine() {

@@ -75,13 +75,29 @@
 //! BHTs store `u16` patterns (~0.5 MB for the dense sweep, against ~2 MB as
 //! `u64`s) — cache residency again.
 
+use crate::counter::two_bit_step;
 use crate::history::HistoryRegister;
+use crate::swar::{self, CounterLut, SwarBlock, SwarScratch, MAX_SWAR_IDS, MAX_SWAR_INDEX_BITS};
 use crate::twolevel::TwoLevelConfig;
 use btr_trace::{BranchAddr, Outcome};
+use core::ops::Range;
 
 /// Maximum number of history slots one fused predictor can drive
 /// ([`FusedSweepPredictor::access_all`] reports hits as a `u64` bitmask).
 pub const MAX_FUSED_SLOTS: usize = 64;
+
+/// Largest combined PHT footprint (bytes) two slots may have and still be
+/// replayed through the interleaved pair kernel: both regions plus the
+/// 4 KB counter table, the block columns and the hit-lane column must
+/// stay L1-resident together, or the two random-access streams evict
+/// each other and the interleaving loses more to cache misses than it
+/// gains in overlap. Measured on the paper sweeps: pairing two 16 KB
+/// PAs slots (32 KB combined — the whole L1d) already ran slower than
+/// back-to-back singles, so the budget stays at half of a 32 KB L1d and
+/// the pair pass engages only for short-history slots — exactly the
+/// conflict-heavy regions where interleaving two independent
+/// read-modify-write chains pays.
+pub const SWAR_PAIR_BUDGET_BYTES: usize = 16 << 10;
 
 /// One byte of four cold 2-bit counters: each weakly not-taken, matching
 /// [`crate::counter::SaturatingCounter::two_bit`].
@@ -90,34 +106,17 @@ const COLD_COUNTER_BYTE: u8 = 0b01_01_01_01;
 /// 2-bit counter values at or above this predict taken.
 const TAKEN_THRESHOLD: u8 = 2;
 
-/// One step of the 2-bit saturating counter state machine (bit-identical to
-/// [`crate::counter::SaturatingCounter::train`] at width 2).
-///
-/// Both directions are computed and selected between so the compiler emits a
-/// conditional move: `taken` is the branch outcome stream itself, the one
-/// data-dependent value in the replay loop a branch predictor *cannot* learn
-/// (hard branches are the interesting ones), so an actual branch here would
-/// pay a misprediction per hard record per slot.
-#[inline]
-fn train(counter: u8, taken: bool) -> u8 {
-    let up = (counter + 1).min(3);
-    let down = counter.saturating_sub(1);
-    if taken {
-        up
-    } else {
-        down
-    }
-}
-
 /// Predicts, checks and trains the 2-bit counter at position `counter_index`
-/// of the packed arena, returning the hit.
+/// of the packed arena, returning the hit. The counter step is the canonical
+/// [`crate::counter::two_bit_step`] — the same anchor the SWAR tier's word
+/// primitives and derived table are pinned against.
 #[inline]
 fn access_packed(arena: &mut [u8], counter_index: usize, taken: bool) -> bool {
     let byte = &mut arena[counter_index >> 2];
     let shift = ((counter_index & 3) * 2) as u32;
     let counter = (*byte >> shift) & 3;
     let hit = (counter >= TAKEN_THRESHOLD) == taken;
-    *byte = (*byte & !(3 << shift)) | (train(counter, taken) << shift);
+    *byte = (*byte & !(3 << shift)) | (two_bit_step(counter, taken) << shift);
     hit
 }
 
@@ -129,7 +128,7 @@ fn access_packed(arena: &mut [u8], counter_index: usize, taken: bool) -> bool {
 /// its own length. Patterns are stored as `u16` (PAs history is at most 16
 /// bits) to keep all groups cache-resident at once.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct PackedBht {
+pub(crate) struct PackedBht {
     index_bits: u32,
     /// `(1 << width) - 1` for the group's maximum history width.
     mask: u16,
@@ -139,7 +138,7 @@ struct PackedBht {
 }
 
 impl PackedBht {
-    fn new(index_bits: u32, width: u32) -> Self {
+    pub(crate) fn new(index_bits: u32, width: u32) -> Self {
         assert!((1..=16).contains(&width), "packed BHT width must be 1..=16");
         PackedBht {
             index_bits,
@@ -152,7 +151,7 @@ impl PackedBht {
     /// Returns the pattern for `addr`, then shifts `outcome` in — exactly
     /// [`crate::history::BranchHistoryTable::pattern_and_push`].
     #[inline]
-    fn pattern_and_push(&mut self, addr: BranchAddr, outcome: Outcome) -> u64 {
+    pub(crate) fn pattern_and_push(&mut self, addr: BranchAddr, outcome: Outcome) -> u64 {
         let idx = addr.low_bits(self.index_bits) as usize;
         let pattern = self.patterns[idx];
         self.patterns[idx] = ((pattern << 1) | outcome.as_bit() as u16) & self.mask;
@@ -635,6 +634,308 @@ impl FusedSweepPredictor {
         }
     }
 
+    /// The PHT index width of one slot: concatenated history + address bits
+    /// for the two-level families, the full (XOR-folded) index width for
+    /// gshare.
+    fn slot_index_bits(&self, slot: &FusedSlot) -> u32 {
+        match self.core {
+            FusedCore::Gshare => slot.addr_bits,
+            _ => slot.addr_bits + slot.history_mask.count_ones(),
+        }
+    }
+
+    /// Whether every slot's geometry fits the SWAR replay tier's packed
+    /// scratch word (see [`crate::swar`] module docs): index width within
+    /// `2..=`[`MAX_SWAR_INDEX_BITS`].
+    pub(crate) fn swar_geometry_ok(&self) -> bool {
+        self.slots.len() <= swar::MAX_SWAR_SLOTS
+            && self
+                .slots
+                .iter()
+                .all(|slot| (2..=MAX_SWAR_INDEX_BITS).contains(&self.slot_index_bits(slot)))
+    }
+
+    /// Whether the SWAR replay tier can run this predictor against a trace
+    /// with `static_count` distinct (dense-interned) branch sites: every
+    /// slot's index must fit the packed scratch word and every id must fit
+    /// its 14-bit field. Callers fall back to the scalar blocked replay when
+    /// this is `false` — the two paths are bit-identical, so the choice is
+    /// purely a performance decision.
+    pub fn swar_ready(&self, static_count: usize) -> bool {
+        static_count <= MAX_SWAR_IDS && self.swar_geometry_ok()
+    }
+
+    /// Number of pattern-source rows this predictor reads (row 0 plus one
+    /// per shared BHT for PAs; a single row for global-history families).
+    pub(crate) fn pattern_sources(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Whether the family's first level is the shared global register.
+    pub(crate) fn uses_global(&self) -> bool {
+        self.core != FusedCore::PerAddressTwoLevel
+    }
+
+    /// Width of the shared global register (0 for PAs).
+    pub(crate) fn global_bits(&self) -> u32 {
+        self.global.bits()
+    }
+
+    /// `(index_bits, register width)` of each shared BHT geometry group, in
+    /// group order (PAs only; empty for global-history families).
+    pub(crate) fn bht_geometries(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.bhts.iter().map(|bht| (bht.index_bits, bht.width))
+    }
+
+    /// Replays a loaded SWAR block against one slot's PHT through the
+    /// two-phase kernel, OR-ing each record's hit bit into `hit_lanes[i]`
+    /// at bit `slot` — the SWAR tier's counterpart of
+    /// [`FusedSweepPredictor::replay_slot_scored`], bit-identical to it
+    /// (pinned by the equivalence suites).
+    ///
+    /// `row_map` translates this predictor's history-source groups to the
+    /// block's pattern rows (from [`crate::swar::BatchLoader::for_lanes`])
+    /// and `lut` is the derived counter-step table (shareable across slots,
+    /// lanes and calls). `scratch` is the kernel's packed-word buffer —
+    /// contents are transient, callers just reuse one allocation across
+    /// calls.
+    ///
+    /// `hit_lanes` is the lane's per-record hit-mask column: it must cover
+    /// the block and hold zeros at bit `slot` on entry. After every slot
+    /// replayed, fold the masks into id-indexed counts with
+    /// [`crate::swar::drain_hit_lanes`] (which also re-zeroes the column) —
+    /// scoring in the counter pass itself is a sequential OR, so the random
+    /// id-indexed accumulation is paid once per block instead of once per
+    /// (record, slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slot_count()`, `row_map` does not cover this
+    /// predictor's groups, or the block's rows do not cover the mapped row.
+    #[inline]
+    pub fn replay_slot_swar(
+        &mut self,
+        slot: usize,
+        block: &SwarBlock,
+        row_map: &[usize],
+        lut: &CounterLut,
+        hit_lanes: &mut [u64],
+        scratch: &mut SwarScratch,
+    ) {
+        let (range, pass) = self.swar_slot_pass(slot, row_map);
+        let region = &mut self.arena[range];
+        match self.core {
+            FusedCore::Gshare => {
+                swar::replay_columns::<true, true>(region, lut, block, &pass, hit_lanes, scratch)
+            }
+            FusedCore::GlobalTwoLevel | FusedCore::PerAddressTwoLevel => {
+                swar::replay_columns::<false, true>(region, lut, block, &pass, hit_lanes, scratch)
+            }
+        }
+    }
+
+    /// Replays a loaded SWAR block against *two* slots' PHTs in one
+    /// interleaved counter pass — semantics identical to calling
+    /// [`FusedSweepPredictor::replay_slot_swar`] for `slots.0` then
+    /// `slots.1` (pinned by the equivalence suites), but the two
+    /// independent read-modify-write streams share one walk of the block:
+    /// loop overhead and the hit-lane OR are paid once per record pair,
+    /// and a short-history slot's same-byte store-forward stalls overlap
+    /// with the other slot's work instead of serializing the whole pass.
+    /// Contracts match [`FusedSweepPredictor::replay_slot_swar`].
+    ///
+    /// Pairing only pays while both regions stay cache-resident: two
+    /// full-size 32 KB slots thrash L1 against each other and run *slower*
+    /// interleaved than back-to-back. When the combined region footprint
+    /// exceeds [`SWAR_PAIR_BUDGET_BYTES`] this falls back to two
+    /// sequential single-slot replays — same results either way, so the
+    /// choice is purely a performance decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`FusedSweepPredictor::replay_slot_swar`]
+    /// conditions for either slot, or if `slots.0 == slots.1`.
+    #[inline]
+    pub fn replay_slot_pair_swar(
+        &mut self,
+        slots: (usize, usize),
+        block: &SwarBlock,
+        row_map: &[usize],
+        lut: &CounterLut,
+        hit_lanes: &mut [u64],
+        scratch: &mut SwarScratch,
+    ) {
+        if !self.swar_pair_fits(slots) {
+            self.replay_slot_swar(slots.0, block, row_map, lut, hit_lanes, scratch);
+            self.replay_slot_swar(slots.1, block, row_map, lut, hit_lanes, scratch);
+            return;
+        }
+        let core = self.core;
+        let (region_a, pass_a, region_b, pass_b) = self.swar_slot_pair(slots, row_map);
+        match core {
+            FusedCore::Gshare => swar::replay_columns_pair::<true, true>(
+                (region_a, &pass_a),
+                (region_b, &pass_b),
+                lut,
+                block,
+                hit_lanes,
+                scratch,
+            ),
+            FusedCore::GlobalTwoLevel | FusedCore::PerAddressTwoLevel => {
+                swar::replay_columns_pair::<false, true>(
+                    (region_a, &pass_a),
+                    (region_b, &pass_b),
+                    lut,
+                    block,
+                    hit_lanes,
+                    scratch,
+                )
+            }
+        }
+    }
+
+    /// [`FusedSweepPredictor::replay_slot_pair_swar`] without hit
+    /// accounting — the warmup form.
+    #[inline]
+    pub fn replay_slot_pair_swar_train(
+        &mut self,
+        slots: (usize, usize),
+        block: &SwarBlock,
+        row_map: &[usize],
+        lut: &CounterLut,
+        scratch: &mut SwarScratch,
+    ) {
+        if !self.swar_pair_fits(slots) {
+            self.replay_slot_swar_train(slots.0, block, row_map, lut, scratch);
+            self.replay_slot_swar_train(slots.1, block, row_map, lut, scratch);
+            return;
+        }
+        let core = self.core;
+        let (region_a, pass_a, region_b, pass_b) = self.swar_slot_pair(slots, row_map);
+        let mut no_hits: [u64; 0] = [];
+        match core {
+            FusedCore::Gshare => swar::replay_columns_pair::<true, false>(
+                (region_a, &pass_a),
+                (region_b, &pass_b),
+                lut,
+                block,
+                &mut no_hits,
+                scratch,
+            ),
+            FusedCore::GlobalTwoLevel | FusedCore::PerAddressTwoLevel => {
+                swar::replay_columns_pair::<false, false>(
+                    (region_a, &pass_a),
+                    (region_b, &pass_b),
+                    lut,
+                    block,
+                    &mut no_hits,
+                    scratch,
+                )
+            }
+        }
+    }
+
+    /// Whether two slots' PHT regions together fit the interleaved pair
+    /// pass's cache budget (see [`SWAR_PAIR_BUDGET_BYTES`]).
+    #[inline]
+    fn swar_pair_fits(&self, slots: (usize, usize)) -> bool {
+        let bytes = |slot: usize| {
+            let bits = self.slot_index_bits(&self.slots[slot]);
+            1usize << (bits - 2)
+        };
+        bytes(slots.0) + bytes(slots.1) <= SWAR_PAIR_BUDGET_BYTES
+    }
+
+    /// One slot's arena byte range and loop-invariant kernel parameters.
+    #[inline]
+    fn swar_slot_pass(&self, slot: usize, row_map: &[usize]) -> (Range<usize>, swar::SlotPass) {
+        let geometry = self.slots[slot];
+        let index_bits = self.slot_index_bits(&geometry);
+        debug_assert!(
+            (2..=MAX_SWAR_INDEX_BITS).contains(&index_bits),
+            "slot outside the SWAR tier; callers must check swar_ready first"
+        );
+        let base = geometry.pht_offset >> 2;
+        let pass = swar::SlotPass {
+            row: row_map[geometry.group as usize],
+            hm: geometry.history_mask as u32,
+            ab: geometry.addr_bits,
+            slot_bit: slot as u32,
+        };
+        (base..base + (1usize << (index_bits - 2)), pass)
+    }
+
+    /// Two simultaneous mutable slot-region views plus their kernel
+    /// parameters, via a split of the arena at the later region's start
+    /// (slot regions never overlap by construction).
+    #[inline]
+    fn swar_slot_pair(
+        &mut self,
+        slots: (usize, usize),
+        row_map: &[usize],
+    ) -> (&mut [u8], swar::SlotPass, &mut [u8], swar::SlotPass) {
+        // Two distinct slots are an internal invariant of the pair-replay
+        // callers; equal slots would alias one region. Release builds still
+        // fail safe (the split-range slice indexing below panics on the
+        // bounds check) so the debug assert only sharpens the message.
+        debug_assert_ne!(slots.0, slots.1, "pair replay needs two distinct slots");
+        let (range_a, pass_a) = self.swar_slot_pass(slots.0, row_map);
+        let (range_b, pass_b) = self.swar_slot_pass(slots.1, row_map);
+        let flipped = range_b.start < range_a.start;
+        let (first, second) = if flipped {
+            (range_b.clone(), range_a.clone())
+        } else {
+            (range_a.clone(), range_b.clone())
+        };
+        debug_assert!(first.end <= second.start, "slot regions overlap");
+        let (low, high) = self.arena.split_at_mut(second.start);
+        let first_region = &mut low[first];
+        let second_region = &mut high[..second.end - second.start];
+        if flipped {
+            (second_region, pass_a, first_region, pass_b)
+        } else {
+            (first_region, pass_a, second_region, pass_b)
+        }
+    }
+
+    /// [`FusedSweepPredictor::replay_slot_swar`] without hit accounting:
+    /// counters train exactly the same, nothing is recorded. This is the
+    /// warmup form (records before the measurement window must shape
+    /// predictor state without contributing to miss tables).
+    #[inline]
+    pub fn replay_slot_swar_train(
+        &mut self,
+        slot: usize,
+        block: &SwarBlock,
+        row_map: &[usize],
+        lut: &CounterLut,
+        scratch: &mut SwarScratch,
+    ) {
+        let (range, pass) = self.swar_slot_pass(slot, row_map);
+        let region = &mut self.arena[range];
+        let mut no_hits: [u64; 0] = [];
+        match self.core {
+            FusedCore::Gshare => swar::replay_columns::<true, false>(
+                region,
+                lut,
+                block,
+                &pass,
+                &mut no_hits,
+                scratch,
+            ),
+            FusedCore::GlobalTwoLevel | FusedCore::PerAddressTwoLevel => {
+                swar::replay_columns::<false, false>(
+                    region,
+                    lut,
+                    block,
+                    &pass,
+                    &mut no_hits,
+                    scratch,
+                )
+            }
+        }
+    }
+
     /// Slot loop for the two-level index form `history ++ address bits`.
     #[inline]
     fn drive_concat(&mut self, addr: BranchAddr, taken: bool) -> u64 {
@@ -906,11 +1207,256 @@ mod tests {
                 let hit = (value >= TAKEN_THRESHOLD) == taken;
                 assert_eq!(hit, expected_hit, "predict diverged at {value}/{taken}");
                 assert_eq!(
-                    train(value, taken),
+                    two_bit_step(value, taken),
                     reference.value(),
                     "train diverged at {value}/{taken}"
                 );
             }
         }
+    }
+
+    /// Dense branch ids for the test stream: its addresses span 512 words,
+    /// so the low 9 word bits are already a perfect dense interning.
+    fn stream_id(addr: BranchAddr) -> u32 {
+        addr.low_bits(9) as u32
+    }
+
+    /// Widens one lane's id-major `u16` hit staging into per-slot `u64`
+    /// rows shaped like the scalar reference accumulators.
+    fn widen_staged(staged: &[u16], stride: usize, slots: usize, ids: usize) -> Vec<Vec<u64>> {
+        (0..slots)
+            .map(|slot| {
+                (0..ids)
+                    .map(|id| u64::from(staged[id * stride + slot]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swar_replay_is_bit_identical_to_scalar_scored_replay() {
+        use crate::swar::{drain_hit_lanes, hit_stage_stride, BatchLoader, CounterLut};
+        let records = stream(5000, 0x51ab);
+        let lut = CounterLut::new();
+        for (make, label) in [
+            (
+                FusedSweepPredictor::pas_paper as fn(&[u32]) -> FusedSweepPredictor,
+                "PAs",
+            ),
+            (FusedSweepPredictor::gas_paper, "GAs"),
+            (FusedSweepPredictor::gshare_paper, "gshare"),
+        ] {
+            let histories: Vec<u32> = (0..=16).collect();
+            let mut scalar = make(&histories);
+            let mut swar_side = make(&histories);
+            assert!(swar_side.swar_ready(512), "{label} must fit the SWAR tier");
+            let (mut loader, maps) =
+                BatchLoader::for_lanes(&[&swar_side]).expect("single lane fits the SWAR tier");
+            // Uneven capacity so block boundaries fall mid-stream and the
+            // last block is a ragged tail for the chunked kernel.
+            let mut scalar_block = scalar.new_block(193);
+            let mut block = loader.new_block(193);
+            let slots = scalar.slot_count();
+            let mut scalar_hits = vec![vec![0u64; 512]; slots];
+            // SWAR scores via the per-record hit-lane column, drained into
+            // id-major u16 staging per block; 5000 records stay far below
+            // the `MAX_STAGED_RECORDS` flush bound, so one widening at the
+            // end is enough for the comparison.
+            let stride = hit_stage_stride(slots);
+            let mut staged = vec![0u16; 512 * stride];
+            let mut hit_lanes = vec![0u64; 193];
+            let mut scratch = SwarScratch::new();
+            for (chunk_index, batch) in records.chunks(193).enumerate() {
+                let ids: Vec<u32> = batch.iter().map(|&(addr, _)| stream_id(addr)).collect();
+                scalar.load_block(batch.iter().copied(), &mut scalar_block);
+                loader.load_block(
+                    batch.iter().zip(&ids).map(|(&(a, o), &id)| (a, o, id)),
+                    &mut block,
+                );
+                // Treat the first block as warmup: both sides must train
+                // without scoring and still agree afterwards. The SWAR side
+                // replays slots in pairs with a single tail slot — the same
+                // shape the batch engine drives — so both the pair and the
+                // single-slot kernels are pinned here (17 slots → 8 pairs
+                // plus a tail).
+                let warmup = chunk_index == 0;
+                if warmup {
+                    for slot in 0..slots {
+                        scalar.replay_slot(slot, &scalar_block, |_, _| {});
+                    }
+                    let mut slot = 0;
+                    while slot + 1 < slots {
+                        swar_side.replay_slot_pair_swar_train(
+                            (slot, slot + 1),
+                            &block,
+                            &maps[0],
+                            &lut,
+                            &mut scratch,
+                        );
+                        slot += 2;
+                    }
+                    if slot < slots {
+                        swar_side.replay_slot_swar_train(
+                            slot,
+                            &block,
+                            &maps[0],
+                            &lut,
+                            &mut scratch,
+                        );
+                    }
+                } else {
+                    for (slot, hits) in scalar_hits.iter_mut().enumerate().take(slots) {
+                        scalar.replay_slot_scored(slot, &scalar_block, &ids, hits);
+                    }
+                    let mut slot = 0;
+                    while slot + 1 < slots {
+                        swar_side.replay_slot_pair_swar(
+                            (slot, slot + 1),
+                            &block,
+                            &maps[0],
+                            &lut,
+                            &mut hit_lanes,
+                            &mut scratch,
+                        );
+                        slot += 2;
+                    }
+                    if slot < slots {
+                        swar_side.replay_slot_swar(
+                            slot,
+                            &block,
+                            &maps[0],
+                            &lut,
+                            &mut hit_lanes,
+                            &mut scratch,
+                        );
+                    }
+                    drain_hit_lanes(&block, &mut hit_lanes, stride, &mut staged);
+                }
+            }
+            let widened = widen_staged(&staged, stride, slots, 512);
+            assert_eq!(widened, scalar_hits, "{label} SWAR hits diverged");
+            assert_eq!(swar_side.arena, scalar.arena, "{label} SWAR arena diverged");
+        }
+    }
+
+    #[test]
+    fn shared_batch_loader_matches_per_lane_scalar_runs() {
+        use crate::swar::{drain_hit_lanes, hit_stage_stride, BatchLoader, CounterLut};
+        let records = stream(4000, 0x77aa);
+        let lut = CounterLut::new();
+        // Three lanes of different families and history sets over one trace:
+        // the loader must carry the union of their first-level state.
+        let pas_h: Vec<u32> = (0..=16).collect();
+        let gas_h = [0u32, 5, 9, 16];
+        let gshare_h = [2u32, 11, 17];
+        let mut lanes = [
+            FusedSweepPredictor::pas_paper(&pas_h),
+            FusedSweepPredictor::gas_paper(&gas_h),
+            FusedSweepPredictor::gshare_paper(&gshare_h),
+        ];
+        let (mut loader, maps) = {
+            let refs: Vec<&FusedSweepPredictor> = lanes.iter().collect();
+            BatchLoader::for_lanes(&refs).expect("lanes fit the SWAR tier")
+        };
+        let mut block = loader.new_block(157);
+        let strides: Vec<usize> = lanes
+            .iter()
+            .map(|lane| hit_stage_stride(lane.slot_count()))
+            .collect();
+        let mut staged: Vec<Vec<u16>> = strides.iter().map(|&s| vec![0u16; 512 * s]).collect();
+        let mut hit_lanes = vec![0u64; 157];
+        let mut scratch = SwarScratch::new();
+        for batch in records.chunks(157) {
+            loader.load_block(batch.iter().map(|&(a, o)| (a, o, stream_id(a))), &mut block);
+            for (lane_index, lane) in lanes.iter_mut().enumerate() {
+                for slot in 0..lane.slot_count() {
+                    lane.replay_slot_swar(
+                        slot,
+                        &block,
+                        &maps[lane_index],
+                        &lut,
+                        &mut hit_lanes,
+                        &mut scratch,
+                    );
+                }
+                drain_hit_lanes(
+                    &block,
+                    &mut hit_lanes,
+                    strides[lane_index],
+                    &mut staged[lane_index],
+                );
+            }
+        }
+        // Reference: each lane alone, scalar blocked replay.
+        let references = [
+            FusedSweepPredictor::pas_paper(&pas_h),
+            FusedSweepPredictor::gas_paper(&gas_h),
+            FusedSweepPredictor::gshare_paper(&gshare_h),
+        ];
+        for (lane_index, mut reference) in references.into_iter().enumerate() {
+            let mut scalar_block = reference.new_block(157);
+            let mut scalar_hits = vec![vec![0u64; 512]; reference.slot_count()];
+            for batch in records.chunks(157) {
+                let ids: Vec<u32> = batch.iter().map(|&(addr, _)| stream_id(addr)).collect();
+                reference.load_block(batch.iter().copied(), &mut scalar_block);
+                for (slot, hits) in scalar_hits.iter_mut().enumerate() {
+                    reference.replay_slot_scored(slot, &scalar_block, &ids, hits);
+                }
+            }
+            let widened = widen_staged(
+                &staged[lane_index],
+                strides[lane_index],
+                reference.slot_count(),
+                512,
+            );
+            assert_eq!(
+                widened, scalar_hits,
+                "lane {lane_index} hits diverged under the shared loader"
+            );
+            assert_eq!(
+                lanes[lane_index].arena, reference.arena,
+                "lane {lane_index} arena diverged under the shared loader"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_arena_region_matches_standalone_pht_packed_export() {
+        use crate::pht::PatternHistoryTable;
+        use crate::swar::{BatchLoader, CounterLut};
+        // A zero-history gshare slot indexes its PHT by address bits alone,
+        // so a standalone table driven at the same indices must land on the
+        // byte-identical packed arena — a direct check of the arena layout
+        // `packed_two_bit` documents.
+        let records = stream(3000, 0xabcd);
+        let mut fused = FusedSweepPredictor::gshare_paper(&[0]);
+        let lut = CounterLut::new();
+        let (mut loader, maps) = BatchLoader::for_lanes(&[&fused]).expect("fits the SWAR tier");
+        let mut block = loader.new_block(256);
+        let mut pht = PatternHistoryTable::two_bit(17);
+        let mut hit_lanes = vec![0u64; 256];
+        let mut scratch = SwarScratch::new();
+        for batch in records.chunks(256) {
+            loader.load_block(batch.iter().map(|&(a, o)| (a, o, stream_id(a))), &mut block);
+            fused.replay_slot_swar(0, &block, &maps[0], &lut, &mut hit_lanes, &mut scratch);
+            for &(addr, outcome) in batch {
+                pht.predict_and_train(addr.low_bits(17), outcome);
+            }
+        }
+        assert_eq!(
+            fused.arena,
+            pht.packed_two_bit().expect("2-bit table exports packed")
+        );
+    }
+
+    #[test]
+    fn swar_readiness_reflects_geometry_and_id_bounds() {
+        let fused = FusedSweepPredictor::gas_paper(&(0..=16).collect::<Vec<u32>>());
+        assert!(fused.swar_geometry_ok());
+        assert!(fused.swar_ready(crate::swar::MAX_SWAR_IDS));
+        assert!(
+            !fused.swar_ready(crate::swar::MAX_SWAR_IDS + 1),
+            "id field overflow must disqualify the tier"
+        );
     }
 }

@@ -46,6 +46,7 @@ pub mod hybrid;
 pub mod pht;
 pub mod predictor;
 pub mod staticp;
+pub mod swar;
 pub mod twolevel;
 pub mod yags;
 
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::hybrid::{ClassifiedHybrid, McFarlingHybrid};
     pub use crate::predictor::BranchPredictor;
     pub use crate::staticp::StaticPredictor;
+    pub use crate::swar::{BatchLoader, CounterLut, SwarBlock};
     pub use crate::twolevel::{TwoLevelConfig, TwoLevelPredictor, TwoLevelScheme};
     pub use crate::yags::YagsPredictor;
 }

@@ -93,6 +93,24 @@ impl PatternHistoryTable {
     pub fn storage_bits(&self) -> u64 {
         self.counters.len() as u64 * u64::from(self.counters[0].bits())
     }
+
+    /// Exports the table as a packed 2-bit counter arena — four counters per
+    /// byte, counter `i` in bits `2*(i % 4)..` of byte `i / 4` — the exact
+    /// layout of the fused sweep arena and the SWAR replay tier, so
+    /// equivalence suites can compare a standalone table against an arena
+    /// region byte-for-byte.
+    ///
+    /// Returns `None` unless the table holds 2-bit counters.
+    pub fn packed_two_bit(&self) -> Option<Vec<u8>> {
+        if self.counters[0].bits() != 2 {
+            return None;
+        }
+        let mut packed = vec![0u8; self.counters.len().div_ceil(4)];
+        for (i, counter) in self.counters.iter().enumerate() {
+            packed[i >> 2] |= counter.value() << ((i & 3) * 2);
+        }
+        Some(packed)
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +145,21 @@ mod tests {
         assert_eq!(pht.storage_bits() / 8, 32 * 1024);
         assert!(!pht.is_empty());
         assert_eq!(pht.index_bits(), 17);
+    }
+
+    #[test]
+    fn packed_export_matches_counter_values() {
+        let mut pht = PatternHistoryTable::two_bit(3);
+        pht.train(0, Outcome::NotTaken); // slot 0 -> 0
+        pht.train(1, Outcome::Taken); // slot 1 -> 2
+        pht.train(5, Outcome::Taken); // slot 5 -> 2
+        pht.train(5, Outcome::Taken); // slot 5 -> 3
+        let packed = pht.packed_two_bit().expect("2-bit table exports");
+        assert_eq!(packed.len(), 2);
+        // Slots 0..4: 0, 2, 1, 1 -> 0b01_01_10_00; slots 4..8: 1, 3, 1, 1.
+        assert_eq!(packed, vec![0b01_01_10_00, 0b01_01_11_01]);
+        // Wider counters have no packed 2-bit form.
+        assert!(PatternHistoryTable::new(2, 3).packed_two_bit().is_none());
     }
 
     #[test]

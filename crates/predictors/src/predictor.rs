@@ -191,10 +191,14 @@ mod tests {
             hits: u64::MAX - 3,
         };
         assert_eq!(
-            PredictionStats::from_json(&stats.to_json().unwrap()).unwrap(),
+            PredictionStats::from_json(&stats.to_json().expect("saturated stats encode"))
+                .expect("encoded stats decode"),
             stats
         );
-        assert_eq!(PredictionStats::from_btrw(&stats.to_btrw()).unwrap(), stats);
+        assert_eq!(
+            PredictionStats::from_btrw(&stats.to_btrw()).expect("BTRW stats decode"),
+            stats
+        );
         // More hits than lookups is rejected rather than trusted.
         let bad = MapBuilder::new()
             .field("lookups", 2u64)

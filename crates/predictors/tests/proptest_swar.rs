@@ -1,0 +1,118 @@
+//! Property-based lane pinning for the bit-sliced SWAR counter tier.
+//!
+//! The SWAR word primitives promise that every one of the 32 two-bit lanes
+//! in a `u64` behaves exactly like a standalone scalar 2-bit saturating
+//! counter — across all 4 counter states, both outcomes, arbitrary
+//! neighbour states, and arbitrary ragged-tail select masks. The unit tests
+//! in `src/swar.rs` pin chosen corners; this suite lets proptest pick the
+//! words, so cross-lane carry leaks or mask typos that happen to cancel on
+//! hand-picked inputs still get caught.
+
+use btr_predictors::counter::{two_bit_step, SaturatingCounter};
+use btr_predictors::swar::{
+    expand_lanes, hit_word, predict_word, train_word, train_word_select, COUNTER_LANES,
+};
+use btr_trace::Outcome;
+use proptest::prelude::*;
+
+/// Reads lane `lane` (0..32) out of a packed counter word.
+fn lane_value(word: u64, lane: usize) -> u8 {
+    ((word >> (2 * lane)) & 0b11) as u8
+}
+
+/// A word whose every lane holds a valid 2-bit counter state (any u64 is
+/// valid — all 4 states are legal — so this is just `any::<u64>()`, named
+/// for readability).
+fn arb_counter_word() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+proptest! {
+    /// The packed-word update is bit-identical to the scalar 2-bit counter
+    /// in every lane: all 4 states × both outcomes, with neighbours chosen
+    /// adversarially by proptest.
+    #[test]
+    fn train_word_matches_the_scalar_counter_in_every_lane(
+        word in arb_counter_word(),
+        taken_lanes in any::<u64>(),
+    ) {
+        let taken = expand_lanes(taken_lanes & 0x5555_5555_5555_5555);
+        let trained = train_word(word, taken);
+        for lane in 0..COUNTER_LANES {
+            let lane_taken = (taken >> (2 * lane)) & 0b11 == 0b11;
+            prop_assert_eq!(
+                lane_value(trained, lane),
+                two_bit_step(lane_value(word, lane), lane_taken),
+                "lane {} diverged: word={:#018x} taken={}",
+                lane, word, lane_taken
+            );
+        }
+    }
+
+    /// The same identity against the stateful `SaturatingCounter`, which is
+    /// the scalar predictor substrate the fused path is pinned to.
+    #[test]
+    fn train_word_matches_saturating_counter_semantics(
+        word in arb_counter_word(),
+        taken_lanes in any::<u64>(),
+    ) {
+        let taken = expand_lanes(taken_lanes & 0x5555_5555_5555_5555);
+        let trained = train_word(word, taken);
+        let predictions = predict_word(word);
+        for lane in 0..COUNTER_LANES {
+            let lane_taken = (taken >> (2 * lane)) & 0b11 == 0b11;
+            let mut counter = SaturatingCounter::with_value(2, lane_value(word, lane));
+            let predicted = counter.predict();
+            counter.train(Outcome::from_bool(lane_taken));
+            prop_assert_eq!(lane_value(trained, lane), counter.value());
+            prop_assert_eq!(
+                (predictions >> (2 * lane)) & 1 == 1,
+                predicted == Outcome::Taken,
+                "prediction lane {} diverged", lane
+            );
+        }
+    }
+
+    /// Ragged-tail masking: selected lanes train exactly like the scalar
+    /// counter, unselected lanes are frozen bit-for-bit.
+    #[test]
+    fn train_word_select_trains_only_the_selected_lanes(
+        word in arb_counter_word(),
+        taken_lanes in any::<u64>(),
+        select_lanes in any::<u64>(),
+    ) {
+        let taken = expand_lanes(taken_lanes & 0x5555_5555_5555_5555);
+        let select = expand_lanes(select_lanes & 0x5555_5555_5555_5555);
+        let trained = train_word_select(word, taken, select);
+        for lane in 0..COUNTER_LANES {
+            let selected = (select >> (2 * lane)) & 0b11 == 0b11;
+            let lane_taken = (taken >> (2 * lane)) & 0b11 == 0b11;
+            let expected = if selected {
+                two_bit_step(lane_value(word, lane), lane_taken)
+            } else {
+                lane_value(word, lane)
+            };
+            prop_assert_eq!(lane_value(trained, lane), expected);
+        }
+    }
+
+    /// Hit accounting follows the threshold rule lane by lane: a lane hits
+    /// iff its pre-update prediction (counter >= 2) matches the outcome.
+    #[test]
+    fn hit_word_scores_each_lane_like_the_scalar_threshold(
+        word in arb_counter_word(),
+        taken_lanes in any::<u64>(),
+    ) {
+        let taken = expand_lanes(taken_lanes & 0x5555_5555_5555_5555);
+        let hits = hit_word(word, taken);
+        for lane in 0..COUNTER_LANES {
+            let lane_taken = (taken >> (2 * lane)) & 0b11 == 0b11;
+            let predict_taken = lane_value(word, lane) >= 2;
+            prop_assert_eq!(
+                (hits >> (2 * lane)) & 1 == 1,
+                predict_taken == lane_taken,
+                "hit lane {} diverged", lane
+            );
+        }
+    }
+}

@@ -17,14 +17,15 @@ use btr_core::distribution::{ClassDistribution, Metric};
 use btr_core::joint::JointClassTable;
 use btr_core::profile::ProgramProfile;
 use btr_sim::config::PredictorFamily;
-use btr_sim::engine::SimEngine;
+use btr_sim::engine::{RunResult, SimEngine};
 use btr_sim::sweep::SweepResult;
 use btr_trace::io::chunked::TraceChunk;
 use btr_trace::stats::TraceStats;
-use btr_trace::{ChunkedTraceReader, TraceMetadata};
+use btr_trace::{BranchRecord, ChunkedTraceReader, InternedTrace, Trace, TraceMetadata};
 use btr_wire::{MapBuilder, Value, Wire};
 use std::cell::Cell;
 use std::io::Read;
+use std::sync::Arc;
 use stealpool::WorkStealingPool;
 
 /// How an upload body is encoded.
@@ -299,8 +300,121 @@ pub fn run_sweep<R: Read>(
         }
     };
     let profile = ProgramProfile::from_stats(&stats);
-    let parts: Vec<(u32, btr_sim::engine::RunResult)> =
-        histories.iter().copied().zip(results).collect();
+    Ok(render_sweep(
+        &metadata,
+        records,
+        stats.total_conditional(),
+        &profile,
+        family,
+        histories,
+        results,
+        metric,
+        scheme,
+        pool,
+    ))
+}
+
+/// A `/sweep` upload fully decoded, profiled and interned — the input the
+/// batch tier ([`crate::batch::BatchScheduler`]) runs, as opposed to the
+/// chunk stream [`run_sweep`] consumes in place.
+#[derive(Debug)]
+pub struct MaterializedSweep {
+    /// The upload's trace metadata.
+    pub metadata: TraceMetadata,
+    /// The per-branch behaviour profile (classification input).
+    pub profile: ProgramProfile,
+    /// Conditional records observed.
+    pub conditional: u64,
+    /// Total records decoded.
+    pub records: u64,
+    /// The interned trace, shared with the batch scheduler.
+    pub interned: Arc<InternedTrace>,
+}
+
+/// Decodes a sweep upload into a [`MaterializedSweep`], enforcing the same
+/// per-chunk static-branch budget as the streaming path. Peak memory is the
+/// whole record list — callers gate this path on the declared upload size.
+///
+/// # Errors
+///
+/// Same taxonomy as [`run_sweep`]: 422 on decode failures, 413 on budget
+/// exhaustion.
+pub fn materialize_sweep<R: Read>(
+    body: R,
+    format: BodyFormat,
+    budgets: Budgets,
+) -> Result<MaterializedSweep, ServeError> {
+    let mut stats = TraceStats::new();
+    let mut collected: Vec<BranchRecord> = Vec::new();
+    let (metadata, records) = match format {
+        BodyFormat::Btrt => {
+            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
+                .map_err(ServeError::from_trace)?;
+            let metadata = reader.metadata().clone();
+            let records = collect_all(&mut reader, &mut stats, &mut collected, budgets)?;
+            (metadata, records)
+        }
+        BodyFormat::Text => {
+            let mut reader = ChunkedTraceReader::text(body, budgets.chunk_records);
+            let records = collect_all(&mut reader, &mut stats, &mut collected, budgets)?;
+            let metadata = reader.source().metadata().clone();
+            (metadata, records)
+        }
+    };
+    let interned = Trace::from_records(metadata.clone(), collected).intern();
+    Ok(MaterializedSweep {
+        metadata,
+        profile: ProgramProfile::from_stats(&stats),
+        conditional: stats.total_conditional(),
+        records,
+        interned: Arc::new(interned),
+    })
+}
+
+/// Renders the sweep document for a materialized upload whose simulation ran
+/// through the batch tier. Bit-identical to [`run_sweep`] over the same
+/// bytes: the engine results are pinned equal by the sim crate's
+/// `batch_equivalence` suite and everything else here derives from the same
+/// stats pass.
+pub fn sweep_document(
+    upload: &MaterializedSweep,
+    family: PredictorFamily,
+    histories: &[u32],
+    results: Vec<RunResult>,
+    metric: Metric,
+    scheme: BinningScheme,
+    pool: &WorkStealingPool,
+) -> AnalysisOutcome {
+    render_sweep(
+        &upload.metadata,
+        upload.records,
+        upload.conditional,
+        &upload.profile,
+        family,
+        histories,
+        results,
+        metric,
+        scheme,
+        pool,
+    )
+}
+
+/// The shared tail of both sweep paths: per-history class aggregation
+/// (fanned out across `pool`) and the response document.
+#[allow(clippy::too_many_arguments)]
+fn render_sweep(
+    metadata: &TraceMetadata,
+    records: u64,
+    conditional: u64,
+    profile: &ProgramProfile,
+    family: PredictorFamily,
+    histories: &[u32],
+    results: Vec<RunResult>,
+    metric: Metric,
+    scheme: BinningScheme,
+    pool: &WorkStealingPool,
+) -> AnalysisOutcome {
+    let parts: Vec<(u32, RunResult)> = histories.iter().copied().zip(results).collect();
     let sweep = SweepResult::from_parts(family, parts);
     // Per-history class aggregation is independent across histories — the
     // post-processing fan-out the work-stealing pool exists for.
@@ -308,14 +422,14 @@ pub fn run_sweep<R: Read>(
         pool.run(sweep.runs().iter().collect(), |_, (history, misses)| {
             (
                 *history,
-                ClassMissRates::aggregate(&profile, metric, scheme, misses),
+                ClassMissRates::aggregate(profile, metric, scheme, misses),
             )
         });
     let matrix = ClassHistoryMatrix::from_runs(&rows);
     let value = MapBuilder::new()
         .field("metadata", metadata.to_value())
         .field("records", records)
-        .field("conditional", stats.total_conditional())
+        .field("conditional", conditional)
         .field("static_branches", profile.static_count() as u64)
         .field("family", family.to_value())
         .field(
@@ -332,7 +446,7 @@ pub fn run_sweep<R: Read>(
         .field("sweep", sweep.to_value())
         .field("class_history", matrix.to_value())
         .build();
-    Ok(AnalysisOutcome { value, records })
+    AnalysisOutcome { value, records }
 }
 
 /// Drains a chunk reader, observing every record and enforcing the
@@ -352,6 +466,35 @@ where
         for record in chunk.records() {
             stats.observe(record);
         }
+        if stats.static_conditional_count() > budgets.max_static_branches {
+            return Err(ServeError::BudgetExceeded {
+                what: "static branches",
+                limit: budgets.max_static_branches as u64,
+            });
+        }
+    }
+    Ok(records)
+}
+
+/// Drains a chunk reader like [`observe_all`], additionally collecting every
+/// record for materialization.
+fn collect_all<I>(
+    reader: &mut I,
+    stats: &mut TraceStats,
+    collected: &mut Vec<BranchRecord>,
+    budgets: Budgets,
+) -> Result<u64, ServeError>
+where
+    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
+{
+    let mut records = 0u64;
+    for chunk in reader {
+        let chunk = chunk.map_err(ServeError::from_trace)?;
+        records += chunk.len() as u64;
+        for record in chunk.records() {
+            stats.observe(record);
+        }
+        collected.extend_from_slice(chunk.records());
         if stats.static_conditional_count() > budgets.max_static_branches {
             return Err(ServeError::BudgetExceeded {
                 what: "static branches",

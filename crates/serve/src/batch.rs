@@ -1,0 +1,244 @@
+//! Batch admission for `/sweep`: coalescing concurrent sweeps into one
+//! SWAR pass.
+//!
+//! Every materialized sweep request becomes one **lane** submitted to the
+//! process-wide [`BatchScheduler`]. The first submitter finding no batch in
+//! progress drains everything queued — its own lane plus whatever arrived
+//! concurrently — and runs the whole set as a *single*
+//! [`SimEngine::run_batch`] task. Lanes are grouped by upload digest, so
+//! concurrent sweeps of the **same trace** (different families or history
+//! sets) share one first-level pass per block through the bit-sliced SWAR
+//! tier, instead of each request re-walking the upload; distinct uploads
+//! still amortize the task setup and the derived counter table. Submissions
+//! arriving while a batch is running queue for the next one — the scheduler
+//! never blocks admission, it only widens the batch.
+//!
+//! Results are delivered per lane and are bit-identical to a standalone
+//! [`SimEngine::run_fused`] of that lane (pinned by the sim crate's
+//! `batch_equivalence` suite), so batching is invisible in the response
+//! bytes — the response cache stays consistent across batch compositions.
+
+use btr_predictors::fused::FusedSweepPredictor;
+use btr_sim::engine::{BatchLane, RunResult, SimEngine};
+use btr_trace::InternedTrace;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the data from a poisoned lock: queue and result
+/// cells stay structurally valid across panics in peer submitters, so one
+/// panicking connection thread must not wedge the scheduler.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One queued sweep: a trace, the fused predictor to run over it, and the
+/// cell its results land in.
+struct PendingLane {
+    digest: String,
+    trace: Arc<InternedTrace>,
+    fused: FusedSweepPredictor,
+    slot: Arc<Mutex<Option<Vec<RunResult>>>>,
+}
+
+impl std::fmt::Debug for PendingLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingLane")
+            .field("digest", &self.digest)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedulerState {
+    pending: Vec<PendingLane>,
+    running: bool,
+}
+
+/// Combines concurrently-submitted sweeps into single `run_batch` tasks.
+#[derive(Debug, Default)]
+pub struct BatchScheduler {
+    state: Mutex<SchedulerState>,
+    landed: Condvar,
+}
+
+impl BatchScheduler {
+    /// An idle scheduler.
+    pub fn new() -> Self {
+        BatchScheduler::default()
+    }
+
+    /// Runs one sweep through the shared batch tier, blocking until its
+    /// results are ready. The calling thread may end up executing the whole
+    /// batch (first in wins) or just waiting for a concurrent leader; either
+    /// way the returned results are bit-identical to a standalone
+    /// [`SimEngine::run_fused`] of this lane.
+    ///
+    /// `digest` is the upload's content digest: lanes sharing it are bound
+    /// to one trace slot in the batch, which is what lets the SWAR tier
+    /// share its first-level pass across them. Callers must therefore only
+    /// pass equal digests for byte-identical uploads.
+    pub fn run(
+        &self,
+        digest: String,
+        trace: Arc<InternedTrace>,
+        fused: FusedSweepPredictor,
+    ) -> Vec<RunResult> {
+        let slot = Arc::new(Mutex::new(None));
+        lock(&self.state).pending.push(PendingLane {
+            digest,
+            trace,
+            fused,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            // Claim a batch if nobody is running one; otherwise wait for the
+            // current leader to land. The wait is bounded so a lost wakeup
+            // degrades to polling, never a hang.
+            let claimed = {
+                let mut state = lock(&self.state);
+                if !state.running && !state.pending.is_empty() {
+                    state.running = true;
+                    Some(std::mem::take(&mut state.pending))
+                } else {
+                    None
+                }
+            };
+            if let Some(batch) = claimed {
+                Self::execute(batch);
+                lock(&self.state).running = false;
+                self.landed.notify_all();
+            } else {
+                let state = lock(&self.state);
+                drop(
+                    self.landed
+                        .wait_timeout(state, Duration::from_millis(20))
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+            }
+            if let Some(results) = lock(&slot).take() {
+                return results;
+            }
+        }
+    }
+
+    /// Runs one drained batch: dedupes traces by digest, fans the lanes into
+    /// a single [`SimEngine::run_batch`] call, and delivers each lane's
+    /// results into its slot.
+    fn execute(batch: Vec<PendingLane>) {
+        let mut digests: Vec<String> = Vec::new();
+        let mut traces: Vec<Arc<InternedTrace>> = Vec::new();
+        let mut lanes = Vec::with_capacity(batch.len());
+        let mut slots = Vec::with_capacity(batch.len());
+        for lane in batch {
+            let index = match digests.iter().position(|d| *d == lane.digest) {
+                Some(index) => index,
+                None => {
+                    digests.push(lane.digest);
+                    traces.push(lane.trace);
+                    traces.len() - 1
+                }
+            };
+            lanes.push(BatchLane::new(index, lane.fused));
+            slots.push(lane.slot);
+        }
+        let refs: Vec<&InternedTrace> = traces.iter().map(Arc::as_ref).collect();
+        let results = SimEngine::new().run_batch(&refs, lanes);
+        for (slot, lane_results) in slots.into_iter().zip(results) {
+            *lock(&slot) = Some(lane_results);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_sim::config::PredictorFamily;
+    use btr_trace::{BranchAddr, BranchRecord, Outcome, Trace, TraceMetadata};
+
+    fn trace(records: usize, sites: u64, seed: u64) -> Arc<InternedTrace> {
+        let mut out = Vec::with_capacity(records);
+        let mut state = seed | 1;
+        for i in 0..records {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = BranchAddr::new(0x1000 + (state >> 40) % sites * 4);
+            out.push(BranchRecord::conditional(
+                addr,
+                Outcome::from_bool((state >> 33) & 1 == 1 || i % 7 == 0),
+            ));
+        }
+        Arc::new(Trace::from_records(TraceMetadata::named("batch"), out).intern())
+    }
+
+    #[test]
+    fn a_single_submission_matches_a_standalone_fused_run() {
+        let scheduler = BatchScheduler::new();
+        let trace = trace(4000, 37, 5);
+        let histories = vec![0u32, 2, 8];
+        let results = scheduler.run(
+            "d0".into(),
+            Arc::clone(&trace),
+            PredictorFamily::PAs.fused_paper(&histories),
+        );
+        let reference =
+            SimEngine::new().run_fused(&trace, &mut PredictorFamily::PAs.fused_paper(&histories));
+        assert_eq!(results, reference);
+    }
+
+    #[test]
+    fn concurrent_submissions_with_shared_and_distinct_digests_all_match() {
+        let scheduler = Arc::new(BatchScheduler::new());
+        let shared = trace(3000, 53, 11);
+        let other = trace(1700, 19, 23);
+        // (digest, trace, family, histories): two lanes share an upload.
+        let jobs: Vec<(&str, Arc<InternedTrace>, PredictorFamily, Vec<u32>)> = vec![
+            (
+                "same",
+                Arc::clone(&shared),
+                PredictorFamily::PAs,
+                vec![0, 4],
+            ),
+            (
+                "same",
+                Arc::clone(&shared),
+                PredictorFamily::GAs,
+                vec![1, 8],
+            ),
+            ("other", Arc::clone(&other), PredictorFamily::PAs, vec![2]),
+            (
+                "same",
+                Arc::clone(&shared),
+                PredictorFamily::PAs,
+                vec![3, 5],
+            ),
+        ];
+        let engine = SimEngine::new();
+        let references: Vec<Vec<RunResult>> = jobs
+            .iter()
+            .map(|(_, t, family, histories)| {
+                engine.run_fused(t, &mut family.fused_paper(histories))
+            })
+            .collect();
+        let outputs: Vec<Vec<RunResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(digest, t, family, histories)| {
+                    let scheduler = Arc::clone(&scheduler);
+                    scope.spawn(move || {
+                        scheduler.run(
+                            (*digest).to_string(),
+                            Arc::clone(t),
+                            family.fused_paper(histories),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter threads do not panic"))
+                .collect()
+        });
+        assert_eq!(outputs, references);
+    }
+}

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod digest;
 pub mod error;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod server;

@@ -22,6 +22,8 @@ pub struct Metrics {
     rejected_busy: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced_hits: AtomicU64,
+    batched_lanes: AtomicU64,
     bytes_streamed: AtomicU64,
     records_decoded: AtomicU64,
     active_analyses: AtomicU64,
@@ -40,6 +42,8 @@ impl Metrics {
             rejected_busy: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced_hits: AtomicU64::new(0),
+            batched_lanes: AtomicU64::new(0),
             bytes_streamed: AtomicU64::new(0),
             records_decoded: AtomicU64::new(0),
             active_analyses: AtomicU64::new(0),
@@ -80,6 +84,17 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request served by waiting on a concurrent identical
+    /// analysis instead of running its own (a subset of cache hits).
+    pub fn coalesced_hit(&self) {
+        self.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sweep lane admitted through the shared batch scheduler.
+    pub fn batched_lane(&self) {
+        self.batched_lanes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Accounts bytes streamed through an upload body.
     pub fn add_bytes_streamed(&self, bytes: u64) {
         self.bytes_streamed.fetch_add(bytes, Ordering::Relaxed);
@@ -113,6 +128,8 @@ impl Metrics {
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
+            batched_lanes: self.batched_lanes.load(Ordering::Relaxed),
             bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
             records_decoded: self.records_decoded.load(Ordering::Relaxed),
             active_analyses: self.active_analyses.load(Ordering::Relaxed),
@@ -165,6 +182,11 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Analyses that ran because no cache entry matched.
     pub cache_misses: u64,
+    /// Requests served by coalescing onto a concurrent identical analysis
+    /// (a subset of `cache_hits`).
+    pub coalesced_hits: u64,
+    /// Sweep lanes admitted through the shared SWAR batch scheduler.
+    pub batched_lanes: u64,
     /// Upload bytes streamed through the decoders.
     pub bytes_streamed: u64,
     /// Trace records decoded from uploads.
@@ -186,6 +208,8 @@ impl Wire for MetricsSnapshot {
             .field("rejected_busy", self.rejected_busy)
             .field("cache_hits", self.cache_hits)
             .field("cache_misses", self.cache_misses)
+            .field("coalesced_hits", self.coalesced_hits)
+            .field("batched_lanes", self.batched_lanes)
             .field("bytes_streamed", self.bytes_streamed)
             .field("records_decoded", self.records_decoded)
             .field("active_analyses", self.active_analyses)
@@ -203,6 +227,8 @@ impl Wire for MetricsSnapshot {
             rejected_busy: value.get("rejected_busy")?.as_u64()?,
             cache_hits: value.get("cache_hits")?.as_u64()?,
             cache_misses: value.get("cache_misses")?.as_u64()?,
+            coalesced_hits: value.get("coalesced_hits")?.as_u64()?,
+            batched_lanes: value.get("batched_lanes")?.as_u64()?,
             bytes_streamed: value.get("bytes_streamed")?.as_u64()?,
             records_decoded: value.get("records_decoded")?.as_u64()?,
             active_analyses: value.get("active_analyses")?.as_u64()?,
@@ -263,6 +289,8 @@ mod tests {
             rejected_busy: 6,
             cache_hits: 7,
             cache_misses: 8,
+            coalesced_hits: 13,
+            batched_lanes: 14,
             bytes_streamed: 9,
             records_decoded: 10,
             active_analyses: 11,

@@ -16,9 +16,11 @@
 //! and replayed for clients that present the upload's digest.
 
 use crate::analysis::{self, Budgets};
+use crate::batch::BatchScheduler;
 use crate::cache::{CacheKey, ResponseCache};
 use crate::digest::DigestReader;
 use crate::error::ServeError;
+use crate::flight::{FlightOutcome, FlightTable};
 use crate::http::{LimitedReader, Request, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use btr_wire::{json, MapBuilder, Value, Wire};
@@ -48,6 +50,11 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Entries in the content-addressed response cache (0 disables).
     pub cache_entries: usize,
+    /// Sweep uploads declaring at most this many bytes are materialized and
+    /// run through the shared SWAR batch scheduler, which coalesces
+    /// concurrent sweeps into one engine pass; larger uploads keep the
+    /// constant-memory streaming path. Set to 0 to force streaming.
+    pub batch_upload_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +68,7 @@ impl Default for ServerConfig {
             max_static_branches: 1 << 20,
             request_timeout: Duration::from_secs(10),
             cache_entries: 64,
+            batch_upload_bytes: 16 << 20,
         }
     }
 }
@@ -71,6 +79,8 @@ struct Shared {
     config: ServerConfig,
     metrics: Metrics,
     cache: ResponseCache,
+    flights: FlightTable,
+    batch: BatchScheduler,
     pool: WorkStealingPool,
     active: AtomicUsize,
     connections: AtomicUsize,
@@ -128,6 +138,8 @@ impl Server {
             config,
             metrics: Metrics::new(),
             cache,
+            flights: FlightTable::new(),
+            batch: BatchScheduler::new(),
             pool,
             active: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
@@ -338,6 +350,7 @@ fn analyze(
     // Digest fast path: a client that already knows its upload's digest is
     // answered from the cache without the body ever being read. Safe because
     // entries are only inserted under server-computed digests.
+    let mut flight = None;
     if let Some(client_digest) = request.header("x-btr-digest") {
         let key = CacheKey {
             digest: client_digest.to_ascii_lowercase(),
@@ -347,7 +360,22 @@ fn analyze(
             shared.metrics.cache_hit();
             return Ok((*cached).clone().with_header("X-Btr-Cache", "hit"));
         }
+        // Single-flight: concurrent uploads of the same digest+params
+        // coalesce onto one computation. Followers block here — before
+        // admission, so they never consume an analysis slot — and are
+        // answered from the leader's cache fill.
+        match shared.flights.join(&key, &shared.cache) {
+            FlightOutcome::Served(cached) => {
+                shared.metrics.cache_hit();
+                shared.metrics.coalesced_hit();
+                return Ok((*cached).clone().with_header("X-Btr-Cache", "coalesced"));
+            }
+            FlightOutcome::Leader(guard) => flight = Some(guard),
+        }
     }
+    // Held until this request lands (cache filled or error returned), so
+    // followers wait instead of duplicating the analysis.
+    let _flight = flight;
 
     // Admission control: never queue, never hang — reject over capacity.
     let active = shared.active.fetch_add(1, Ordering::SeqCst);
@@ -375,16 +403,45 @@ fn analyze(
             let family = analysis::parse_family(request.query_param("family"))?;
             let metric = analysis::parse_metric(request.query_param("metric"))?;
             let histories = analysis::parse_histories(request.query_param("histories"), family)?;
-            analysis::run_sweep(
-                &mut upload,
-                format,
-                scheme,
-                metric,
-                family,
-                &histories,
-                budgets,
-                &shared.pool,
-            )
+            if declared <= shared.config.batch_upload_bytes {
+                // Batch admission: materialize the upload, then run it as
+                // one lane of the shared SWAR batch — concurrent sweeps of
+                // the same digest share a single first-level pass, and every
+                // concurrent sweep amortizes the engine task. Bit-identical
+                // to the streaming path below, so the cache sees one truth.
+                analysis::materialize_sweep(&mut upload, format, budgets).map(|materialized| {
+                    // Drain the declared tail now: the digest is the batch
+                    // grouping key, so it must be final before submission.
+                    let _ = io::copy(&mut upload, &mut io::sink());
+                    let digest = upload.digest().hex();
+                    shared.metrics.batched_lane();
+                    let results = shared.batch.run(
+                        digest,
+                        Arc::clone(&materialized.interned),
+                        family.fused_paper(&histories),
+                    );
+                    analysis::sweep_document(
+                        &materialized,
+                        family,
+                        &histories,
+                        results,
+                        metric,
+                        scheme,
+                        &shared.pool,
+                    )
+                })
+            } else {
+                analysis::run_sweep(
+                    &mut upload,
+                    format,
+                    scheme,
+                    metric,
+                    family,
+                    &histories,
+                    budgets,
+                    &shared.pool,
+                )
+            }
         }
     };
     // Drain any declared-but-unconsumed tail so the digest covers the whole

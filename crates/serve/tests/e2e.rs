@@ -388,6 +388,117 @@ fn concurrent_uploads_all_complete_within_the_admission_bound() {
 }
 
 #[test]
+fn concurrent_identical_digests_coalesce_onto_one_analysis() {
+    let (addr, handle) = spawn(|config| {
+        config.max_concurrent = 8;
+    });
+    // Prime with different params so the digest is known but the target
+    // (digest × params) cache key is still cold.
+    let body = btrt(120_000, 211);
+    let primed = post(&addr, "/classify?scheme=chang6", body.clone());
+    assert_eq!(primed.status, 200);
+    let digest = primed
+        .header("x-btr-digest")
+        .expect("analysis responses carry a digest")
+        .to_string();
+
+    // Leader: the real upload, presenting its digest so the computation is
+    // registered in flight; slow enough for followers to catch it.
+    let leader = {
+        let addr = addr.clone();
+        let body = body.clone();
+        let digest = digest.clone();
+        std::thread::spawn(move || {
+            send(
+                &addr,
+                &ClientRequest::post("/classify", body).with_header("X-Btr-Digest", &digest),
+                TIMEOUT,
+            )
+            .expect("leader request must complete")
+        })
+    };
+    // Deterministic rendezvous: wait until the leader's analysis is
+    // actually in flight before releasing the followers.
+    let t0 = std::time::Instant::now();
+    while handle.metrics().active_analyses == 0 {
+        assert!(
+            t0.elapsed() < TIMEOUT,
+            "leader never entered the admission gate"
+        );
+        std::thread::yield_now();
+    }
+    let followers: Vec<ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.as_str();
+                let digest = digest.as_str();
+                scope.spawn(move || {
+                    send(
+                        addr,
+                        &ClientRequest::post("/classify", Vec::new())
+                            .with_header("X-Btr-Digest", digest),
+                        TIMEOUT,
+                    )
+                    .expect("follower request must complete")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no follower panics"))
+            .collect()
+    });
+    let leader = leader.join().expect("leader thread joins");
+    assert_eq!(leader.status, 200);
+    for follower in &followers {
+        assert_eq!(follower.status, 200);
+        assert_eq!(
+            follower.body, leader.body,
+            "coalesced followers must serve the leader's exact bytes"
+        );
+        assert!(
+            matches!(follower.header("x-btr-cache"), Some("coalesced" | "hit")),
+            "followers never recompute: {:?}",
+            follower.header("x-btr-cache")
+        );
+    }
+    let snapshot = handle.metrics();
+    // Exactly two analyses ran — the priming upload and the leader — no
+    // matter how many followers raced the leader.
+    assert_eq!(snapshot.cache_misses, 2);
+    assert_eq!(snapshot.records_decoded, 2 * 120_000);
+    assert!(
+        snapshot.coalesced_hits + snapshot.cache_hits >= 4,
+        "every follower was served without an analysis: {snapshot:?}"
+    );
+}
+
+#[test]
+fn batched_and_streaming_sweeps_answer_identical_documents() {
+    // Same upload, same params; one server batches (default), the other is
+    // forced onto the streaming path. The response bytes must be identical —
+    // the SWAR batch tier is invisible in the documents.
+    let (batched_addr, batched_handle) = spawn(|_| {});
+    let (streaming_addr, streaming_handle) = spawn(|config| config.batch_upload_bytes = 0);
+    let body = btrt(8_000, 67);
+    let target = "/sweep?family=gas&histories=0,3,7&metric=transition";
+    let from_batched = post(&batched_addr, target, body.clone());
+    let from_streaming = post(&streaming_addr, target, body);
+    assert_eq!(from_batched.status, 200, "body: {}", from_batched.text());
+    assert_eq!(from_streaming.status, 200);
+    assert_eq!(
+        from_batched.body, from_streaming.body,
+        "batch admission must not change a single response byte"
+    );
+    assert_eq!(
+        from_batched.header("x-btr-digest"),
+        from_streaming.header("x-btr-digest"),
+    );
+    assert_eq!(batched_handle.metrics().batched_lanes, 1);
+    assert_eq!(streaming_handle.metrics().batched_lanes, 0);
+}
+
+#[test]
 fn metrics_snapshot_roundtrips_and_counts_the_traffic() {
     let (addr, handle) = spawn(|_| {});
     let resp = post(&addr, "/classify", btrt(1_000, 13));

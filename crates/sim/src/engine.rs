@@ -43,6 +43,7 @@ use btr_core::analysis::{miss_map_from_value, miss_map_to_value, BranchMissMap, 
 use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::fused::FusedSweepPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
+use btr_predictors::swar::{self, BatchLoader, CounterLut, SwarBlock, SwarScratch};
 use btr_trace::{BranchAddr, InternedTrace, Trace, TraceChunk};
 use btr_wire::{MapBuilder, Value, Wire, WireError};
 
@@ -50,7 +51,170 @@ use btr_wire::{MapBuilder, Value, Wire, WireError};
 /// enough that the block scratch plus one slot's PHT plus one slot's hit row
 /// stay cache-resident during a replay phase, large enough to amortise the
 /// per-block slot-phase setup.
-const FUSED_BLOCK_RECORDS: usize = 2048;
+const FUSED_BLOCK_RECORDS: usize = 512;
+
+/// Predictor-state budget for one SWAR batch sub-group, in bytes.
+///
+/// Within a sub-group every lane's slot phases run per block, so the union of
+/// the lanes' arenas (plus shared first-level tables) cycles through L2 once
+/// per block; keeping that union within most of a ~2 MB L2 keeps the replay
+/// out of L3. Measured the other way round: interleaving four dense-sweep
+/// lanes (~4 × 0.5 MB of counters) ran ~2.6× *slower* than sequential
+/// sub-groups, so lanes beyond the budget go into further sub-groups that
+/// re-walk the trace with their own shared first level. The split is a pure
+/// performance heuristic — results are bit-identical regardless of grouping.
+const BATCH_L2_BUDGET_BYTES: u64 = 1_500_000;
+
+/// One lane of a [`SimEngine::run_batch`] call: a fused sweep predictor
+/// bound (by index) to the batch trace it replays. Lanes over the same trace
+/// share one first-level pass; lanes over different traces are independent
+/// batch groups.
+#[derive(Debug, Clone)]
+pub struct BatchLane {
+    /// Index into the batch's trace slice.
+    pub trace_index: usize,
+    /// The lane's fused predictor (fresh state; trained by the run).
+    pub fused: FusedSweepPredictor,
+}
+
+impl BatchLane {
+    /// A lane replaying `traces[trace_index]` with `fused`.
+    pub fn new(trace_index: usize, fused: FusedSweepPredictor) -> Self {
+        BatchLane { trace_index, fused }
+    }
+}
+
+/// Per-lane state of one SWAR batch sub-group.
+struct SwarLaneState {
+    /// The lane's position in the caller's lane order.
+    position: usize,
+    fused: FusedSweepPredictor,
+    /// Lane history-source group → block pattern row.
+    rows: Vec<usize>,
+    acc: FusedMissAccumulator,
+}
+
+/// Drives `records` through one SWAR sub-group block by block: one shared
+/// first-level pass per block ([`BatchLoader::load_block`]), then every
+/// (lane, slot) replays it through the two-phase SWAR kernel. Warmup
+/// handling matches [`drive_fused_blocks`]: blocks are split at the warmup
+/// boundary, warm blocks train without scoring.
+///
+/// Each slot's replay ORs its hit bits into a shared per-record hit-lane
+/// column (sequential stores — the counter pass carries no random writes);
+/// [`swar::drain_hit_lanes`] then folds the column once per (lane, block)
+/// into id-major `u16` staging, flushed into the wide accumulators before
+/// [`swar::MAX_STAGED_RECORDS`] scored records accumulate (one id could hit
+/// every record, so that bound keeps staging within `u16`).
+fn drive_swar_blocks(
+    loader: &mut BatchLoader,
+    block: &mut SwarBlock,
+    lanes: &mut [SwarLaneState],
+    lut: &CounterLut,
+    records: &[btr_trace::InternedRecord],
+    warmup: u64,
+) {
+    // Packed-word kernel buffers, one allocation reused across every
+    // (block, lane, slot) replay of this sub-group.
+    let mut scratch = SwarScratch::new();
+    // Per-record hit-mask column, shared across lanes: each drain re-zeroes
+    // it for the next lane (or block).
+    let mut hit_lanes = vec![0u64; FUSED_BLOCK_RECORDS];
+    // Per-lane id-major hit staging: slot `s` of id `d` accumulates at
+    // `staged[d * stride + s]`.
+    let mut stages: Vec<(usize, Vec<u16>)> = lanes
+        .iter()
+        .map(|lane| {
+            let stride = swar::hit_stage_stride(lane.fused.slot_count());
+            (stride, vec![0u16; lane.acc.lookups.len() * stride])
+        })
+        .collect();
+    let mut staged_records = 0usize;
+    let mut offset = 0usize;
+    while offset < records.len() {
+        let pos = offset as u64;
+        let mut end = offset + FUSED_BLOCK_RECORDS.min(records.len() - offset);
+        if pos < warmup {
+            let to_boundary = usize::try_from(warmup - pos).unwrap_or(usize::MAX);
+            end = end.min(offset.saturating_add(to_boundary));
+        }
+        let batch = &records[offset..end];
+        loader.load_block(batch.iter().map(|r| (r.addr(), r.outcome(), r.id())), block);
+        if pos >= warmup {
+            if staged_records + batch.len() > swar::MAX_STAGED_RECORDS {
+                flush_swar_stages(lanes, &mut stages);
+                staged_records = 0;
+            }
+            staged_records += batch.len();
+            for (lane, (stride, staged)) in lanes.iter_mut().zip(stages.iter_mut()) {
+                for record in batch {
+                    lane.acc.lookups[record.id() as usize] += 1;
+                }
+                // Slots replay in pairs — two interleaved counter streams
+                // per pass (see `replay_slot_pair_swar`) — with a single
+                // replay for an odd tail slot.
+                let count = lane.fused.slot_count();
+                let mut slot = 0;
+                while slot + 1 < count {
+                    lane.fused.replay_slot_pair_swar(
+                        (slot, slot + 1),
+                        block,
+                        &lane.rows,
+                        lut,
+                        &mut hit_lanes,
+                        &mut scratch,
+                    );
+                    slot += 2;
+                }
+                if slot < count {
+                    lane.fused.replay_slot_swar(
+                        slot,
+                        block,
+                        &lane.rows,
+                        lut,
+                        &mut hit_lanes,
+                        &mut scratch,
+                    );
+                }
+                swar::drain_hit_lanes(block, &mut hit_lanes, *stride, staged);
+            }
+        } else {
+            for lane in lanes.iter_mut() {
+                let count = lane.fused.slot_count();
+                let mut slot = 0;
+                while slot + 1 < count {
+                    lane.fused.replay_slot_pair_swar_train(
+                        (slot, slot + 1),
+                        block,
+                        &lane.rows,
+                        lut,
+                        &mut scratch,
+                    );
+                    slot += 2;
+                }
+                if slot < count {
+                    lane.fused
+                        .replay_slot_swar_train(slot, block, &lane.rows, lut, &mut scratch);
+                }
+            }
+        }
+        offset = end;
+    }
+    flush_swar_stages(lanes, &mut stages);
+}
+
+/// Adds every staged hit count into its lane's wide accumulator rows and
+/// clears the staging.
+fn flush_swar_stages(lanes: &mut [SwarLaneState], stages: &mut [(usize, Vec<u16>)]) {
+    for (lane, (stride, staged)) in lanes.iter_mut().zip(stages.iter_mut()) {
+        for (id, row) in staged.chunks_exact(*stride).enumerate() {
+            for (acc_row, &count) in lane.acc.hits.iter_mut().zip(row.iter()) {
+                acc_row[id] += u64::from(count);
+            }
+        }
+        staged.fill(0);
+    }
+}
 
 /// Per-(branch, history-slot) statistics accumulator for the fused sweep
 /// paths.
@@ -337,6 +501,108 @@ impl SimEngine {
             &mut ids,
         );
         acc.into_results(trace.addrs())
+    }
+
+    /// Runs a whole batch of fused sweeps — up to [`MAX_FUSED_SLOTS`] history
+    /// slots per lane, any number of lanes over any number of traces — with
+    /// the bit-sliced SWAR replay tier, returning one `Vec<RunResult>` per
+    /// lane (slot order), in lane order.
+    ///
+    /// Lanes bound to the same trace form one batch group: the group pays
+    /// **one** shared first-level pass per block (global register and BHT
+    /// state unioned across the lanes by
+    /// [`btr_predictors::swar::BatchLoader`]), and every lane's slots replay
+    /// the shared column streams through the derived counter-step table.
+    /// Groups whose combined predictor state exceeds the L2 budget are split
+    /// into sequential sub-groups (see [`BATCH_L2_BUDGET_BYTES`]); lanes
+    /// whose geometry or static-branch count falls outside the SWAR tier
+    /// ([`FusedSweepPredictor::swar_ready`]) silently fall back to the scalar
+    /// [`SimEngine::run_fused`] path.
+    ///
+    /// Every lane's results — and its final predictor state — are
+    /// bit-identical to a standalone [`SimEngine::run_fused`] of that lane
+    /// over its trace (pinned by `tests/batch_equivalence.rs`); the tier
+    /// choice, grouping and sub-grouping are purely performance decisions.
+    /// The engine's warmup exclusion applies per trace, exactly as in
+    /// [`SimEngine::run_fused`].
+    ///
+    /// [`MAX_FUSED_SLOTS`]: btr_predictors::fused::MAX_FUSED_SLOTS
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane's `trace_index` is outside `traces`.
+    pub fn run_batch(
+        &self,
+        traces: &[&InternedTrace],
+        lanes: Vec<BatchLane>,
+    ) -> Vec<Vec<RunResult>> {
+        let lut = CounterLut::new();
+        let mut results: Vec<Option<Vec<RunResult>>> = lanes.iter().map(|_| None).collect();
+        // Bucket lanes by trace, remembering each lane's caller position.
+        let mut buckets: Vec<Vec<(usize, FusedSweepPredictor)>> =
+            (0..traces.len()).map(|_| Vec::new()).collect();
+        for (position, lane) in lanes.into_iter().enumerate() {
+            buckets[lane.trace_index].push((position, lane.fused));
+        }
+        for (trace, bucket) in traces.iter().zip(buckets) {
+            // Lanes outside the SWAR tier take the scalar blocked path now;
+            // the rest are partitioned into L2-budgeted sub-groups.
+            let mut pending: Vec<(usize, FusedSweepPredictor)> = Vec::new();
+            for (position, mut fused) in bucket {
+                if fused.swar_ready(trace.static_count()) {
+                    pending.push((position, fused));
+                } else {
+                    results[position] = Some(self.run_fused(trace, &mut fused));
+                }
+            }
+            while !pending.is_empty() {
+                // Greedy prefix within the state budget (at least one lane,
+                // so an oversized single lane still runs — just unshared).
+                let mut bytes = 0u64;
+                let mut take = 0usize;
+                for (_, fused) in &pending {
+                    let lane_bytes = fused.storage_bits() / 8;
+                    if take > 0 && bytes + lane_bytes > BATCH_L2_BUDGET_BYTES {
+                        break;
+                    }
+                    bytes += lane_bytes;
+                    take += 1;
+                }
+                let rest = pending.split_off(take);
+                let group = std::mem::replace(&mut pending, rest);
+                let (mut loader, maps) = {
+                    let refs: Vec<&FusedSweepPredictor> =
+                        group.iter().map(|(_, fused)| fused).collect();
+                    BatchLoader::for_lanes(&refs).expect("swar_ready lanes fit the SWAR tier")
+                };
+                let mut states: Vec<SwarLaneState> = group
+                    .into_iter()
+                    .zip(maps)
+                    .map(|((position, fused), rows)| SwarLaneState {
+                        position,
+                        acc: FusedMissAccumulator::new(fused.slot_count(), trace.static_count()),
+                        fused,
+                        rows,
+                    })
+                    .collect();
+                let mut block = loader.new_block(FUSED_BLOCK_RECORDS);
+                drive_swar_blocks(
+                    &mut loader,
+                    &mut block,
+                    &mut states,
+                    &lut,
+                    trace.records(),
+                    self.warmup,
+                );
+                for state in states {
+                    results[state.position] = Some(state.acc.into_results(trace.addrs()));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|lane| lane.expect("every lane was run"))
+            .collect()
     }
 
     /// [`SimEngine::run_fused`] over a stream of [`TraceChunk`]s: the whole

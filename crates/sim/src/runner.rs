@@ -12,7 +12,7 @@
 //! partial results are still merged deterministically by benchmark index.
 
 use crate::config::{PredictorFamily, PredictorKind, WindowConfig};
-use crate::engine::{RunResult, SimEngine};
+use crate::engine::{BatchLane, RunResult, SimEngine};
 use crate::sweep::SweepResult;
 use btr_core::analysis::DenseMissTable;
 use btr_core::profile::ProgramProfile;
@@ -123,10 +123,13 @@ impl SuiteRunner {
     /// the histories are split into just enough contiguous fused groups to
     /// occupy the pool — each group is still one fused pass over its subset,
     /// so a single-benchmark sweep keeps history-level parallelism without
-    /// giving up fusion. Per-task results are split back out per history and
-    /// merged in benchmark-index order, so the outcome is bit-identical to
-    /// the sequential per-history sweep no matter the grouping or schedule
-    /// (pinned by `tests/fused_equivalence.rs` and
+    /// giving up fusion. Each task runs its benchmark batch through the
+    /// bit-sliced SWAR tier ([`SimEngine::run_batch`]) when the geometry
+    /// allows, falling back to the scalar blocked replay otherwise —
+    /// bit-identical either way. Per-task results are split back out per
+    /// history and merged in benchmark-index order, so the outcome is
+    /// bit-identical to the sequential per-history sweep no matter the
+    /// grouping or schedule (pinned by `tests/fused_equivalence.rs` and
     /// `tests/grid_determinism.rs`).
     ///
     /// # Panics
@@ -154,8 +157,13 @@ impl SuiteRunner {
             .flat_map(|group| (0..traces.len()).map(move |bench| (bench, group)))
             .collect();
         let partials: Vec<Vec<RunResult>> = self.pool().run(grid, |_, (bench, group)| {
-            let mut fused = family.fused_paper(groups[group]);
-            engine.run_fused(&traces[bench], &mut fused)
+            // Each task is one whole benchmark batch through the SWAR batch
+            // engine; `run_batch` itself falls back to the scalar blocked
+            // replay when the trace or geometry is outside the SWAR tier,
+            // bit-identically either way.
+            let lane = BatchLane::new(0, family.fused_paper(groups[group]));
+            let mut lanes = engine.run_batch(&[&traces[bench]], vec![lane]);
+            lanes.pop().expect("one lane in, one result out")
         });
         let mut parts = Vec::with_capacity(histories.len());
         for (g, group) in groups.iter().enumerate() {

@@ -12,6 +12,14 @@ Benchmarks without a `per_sec` field fall back to comparing `mean_ns`
 (inverted, so "slower" is a regression either way). Ids present in only one
 file are reported but never fail the gate — benches come and go across PRs.
 
+Benches may also append *constraint* rows of the form
+`{"id": ..., "ref": ..., "min_ratio": N}` (see `declare_ratio_floor` in the
+bench sources). Each one asserts that, within the CURRENT file alone,
+`per_sec[id] >= min_ratio * per_sec[ref]`. Because both sides are measured
+in the same run, the check is immune to shared-runner speed differences,
+and it runs even when no baseline file is available — it is a property of
+the current build, not a diff.
+
 Usage: bench_gate.py BASELINE.json CURRENT.json [--threshold 0.15]
 """
 
@@ -21,8 +29,14 @@ import sys
 
 
 def load(path):
-    """Parses a JSON-lines bench file into {id: rate}, last write wins."""
+    """Parses a JSON-lines bench file into ({id: rate}, [constraints]).
+
+    Measurement rows keep the last write per id. Constraint rows — those
+    carrying a `min_ratio` — are collected in file order as
+    (id, ref, min_ratio) tuples.
+    """
     rates = {}
+    constraints = []
     with open(path, encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.strip()
@@ -36,13 +50,49 @@ def load(path):
             bench_id = row.get("id")
             if bench_id is None:
                 continue
+            if row.get("min_ratio") is not None:
+                ref = row.get("ref")
+                if ref is None:
+                    print(f"{path}:{line_no}: min_ratio row lacks 'ref'; skipping")
+                    continue
+                constraints.append((bench_id, ref, float(row["min_ratio"])))
+                continue
             if row.get("per_sec"):
                 rates[bench_id] = float(row["per_sec"])
             elif row.get("mean_ns"):
                 # No throughput declared: use inverse time so that a larger
                 # value is still "faster".
                 rates[bench_id] = 1e9 / float(row["mean_ns"])
-    return rates
+    return rates, constraints
+
+
+def check_ratio_floors(rates, constraints):
+    """Verifies every in-run ratio floor against the current file's rates.
+
+    Returns the list of violation strings (empty when all floors hold).
+    """
+    violations = []
+    for bench_id, ref, min_ratio in constraints:
+        num = rates.get(bench_id)
+        den = rates.get(ref)
+        if num is None or den is None:
+            missing = bench_id if num is None else ref
+            violations.append(
+                f"{bench_id} >= {min_ratio}x {ref}: measurement for "
+                f"'{missing}' missing from the current file"
+            )
+            continue
+        ratio = num / den
+        status = "OK" if ratio >= min_ratio else "BELOW FLOOR"
+        print(
+            f"  ratio {bench_id} / {ref} = {ratio:.2f}x "
+            f"(floor {min_ratio}x)  {status}"
+        )
+        if ratio < min_ratio:
+            violations.append(
+                f"{bench_id} at {ratio:.2f}x of {ref}, floor is {min_ratio}x"
+            )
+    return violations
 
 
 def print_table(rows):
@@ -91,10 +141,24 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline, _ = load(args.baseline)
+    current, constraints = load(args.current)
+
+    # In-run ratio floors are a property of the current run alone, so they
+    # are enforced even on the very first run, before any baseline exists.
+    ratio_failures = []
+    if constraints:
+        print(f"in-run ratio floors ({len(constraints)} declared):")
+        ratio_failures = check_ratio_floors(current, constraints)
+        print()
+
     if not baseline:
-        print(f"gate: baseline {args.baseline} holds no benchmarks; passing trivially")
+        print(f"gate: baseline {args.baseline} holds no benchmarks; skipping diff")
+        if ratio_failures:
+            print(f"\ngate: {len(ratio_failures)} in-run ratio floor(s) violated:")
+            for violation in ratio_failures:
+                print(f"  {violation}")
+            return 1
         return 0
 
     rows = []
@@ -117,6 +181,7 @@ def main():
 
     print_table(rows)
 
+    failed = False
     if failures:
         print(
             f"\ngate: {len(failures)} benchmark(s) regressed more than "
@@ -124,6 +189,13 @@ def main():
         )
         for bench_id, old, new, change in failures:
             print(f"  {bench_id}: {old:.3e} -> {new:.3e}/s ({change:+.1%})")
+        failed = True
+    if ratio_failures:
+        print(f"\ngate: {len(ratio_failures)} in-run ratio floor(s) violated:")
+        for violation in ratio_failures:
+            print(f"  {violation}")
+        failed = True
+    if failed:
         return 1
     print(f"\ngate: no regression beyond {args.threshold:.0%} across {len(current)} benchmarks")
     return 0
