@@ -28,6 +28,7 @@ fn bench_spec() -> SweepSpec {
         config: SuiteConfig::default().with_scale(2e-6),
         history_group: 2,
         window_count: 2,
+        trace_file: None,
     }
 }
 

@@ -1,13 +1,16 @@
 //! Request parameters and the per-request analysis drivers.
 //!
 //! Both endpoints stream the upload exactly once: the body bytes flow
-//! through [`crate::digest::DigestReader`] (content addressing) into
-//! [`ChunkedTraceReader`] (bounded decode), and every decoded record is
-//! observed into a [`TraceStats`] on the way past — classification,
-//! simulation and profiling all ride the same pass. Peak memory per request
-//! is one chunk plus the interning/statistics tables, independent of upload
-//! length; the distinct-branch tables are additionally capped by the
-//! static-branch budget.
+//! through [`crate::digest::DigestReader`] (content addressing) into a
+//! chunked decoder — [`FastBtrtReader`] for `BTRT` uploads (the columnar
+//! slice fast path), [`ChunkedTraceReader`] for text — and every decoded
+//! chunk is folded into a [`DenseTraceStats`] on the way past:
+//! classification, simulation and profiling all ride the same pass, with
+//! per-branch statistics indexed by the reader's dense interned ids rather
+//! than a per-record map lookup. Peak memory per request is one chunk plus
+//! the interning/statistics tables, independent of upload length; the
+//! distinct-branch tables are additionally capped by the static-branch
+//! budget.
 
 use crate::error::ServeError;
 use btr_core::advisor::{ClassRecommendation, ComponentStyle, HybridAdvisor};
@@ -20,8 +23,10 @@ use btr_sim::config::PredictorFamily;
 use btr_sim::engine::{RunResult, SimEngine};
 use btr_sim::sweep::SweepResult;
 use btr_trace::io::chunked::TraceChunk;
-use btr_trace::stats::TraceStats;
-use btr_trace::{BranchRecord, ChunkedTraceReader, InternedTrace, Trace, TraceMetadata};
+use btr_trace::{
+    BranchRecord, ChunkStream, ChunkedTraceReader, DenseTraceStats, FastBtrtReader, InternedTrace,
+    Trace, TraceMetadata,
+};
 use btr_wire::{MapBuilder, Value, Wire};
 use std::cell::Cell;
 use std::io::Read;
@@ -180,22 +185,23 @@ pub fn run_classify<R: Read>(
     scheme: BinningScheme,
     budgets: Budgets,
 ) -> Result<AnalysisOutcome, ServeError> {
-    let mut stats = TraceStats::new();
+    let mut dense = DenseTraceStats::new();
     let (metadata, records) = match format {
         BodyFormat::Btrt => {
-            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
-                .map_err(ServeError::from_trace)?;
+            let mut reader =
+                FastBtrtReader::new(body, budgets.chunk_records).map_err(ServeError::from_trace)?;
             let metadata = reader.metadata().clone();
-            let records = observe_all(&mut reader, &mut stats, budgets)?;
+            let records = observe_all(&mut reader, &mut dense, budgets)?;
             (metadata, records)
         }
         BodyFormat::Text => {
             let mut reader = ChunkedTraceReader::text(body, budgets.chunk_records);
-            let records = observe_all(&mut reader, &mut stats, budgets)?;
+            let records = observe_all(&mut reader, &mut dense, budgets)?;
             let metadata = reader.source().metadata().clone();
             (metadata, records)
         }
     };
+    let stats = dense.into_trace_stats();
     let profile = ProgramProfile::from_stats(&stats);
     let table = JointClassTable::from_profile(&profile, scheme);
     let value = MapBuilder::new()
@@ -250,19 +256,19 @@ pub fn run_sweep<R: Read>(
     budgets: Budgets,
     pool: &WorkStealingPool,
 ) -> Result<AnalysisOutcome, ServeError> {
-    let mut stats = TraceStats::new();
+    let mut dense = DenseTraceStats::new();
     let mut fused = family.fused_paper(histories);
     let engine = SimEngine::new();
     let budget_hit = Cell::new(false);
     let (metadata, results, records) = match format {
         BodyFormat::Btrt => {
-            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
-                .map_err(ServeError::from_trace)?;
+            let mut reader =
+                FastBtrtReader::new(body, budgets.chunk_records).map_err(ServeError::from_trace)?;
             let metadata = reader.metadata().clone();
             let results = engine.run_fused_streamed(
                 Observing {
                     inner: &mut reader,
-                    stats: &mut stats,
+                    stats: &mut dense,
                     budgets,
                     budget_hit: &budget_hit,
                 },
@@ -276,7 +282,7 @@ pub fn run_sweep<R: Read>(
             let results = engine.run_fused_streamed(
                 Observing {
                     inner: &mut reader,
-                    stats: &mut stats,
+                    stats: &mut dense,
                     budgets,
                     budget_hit: &budget_hit,
                 },
@@ -299,6 +305,7 @@ pub fn run_sweep<R: Read>(
             return Err(ServeError::from_trace(e));
         }
     };
+    let stats = dense.into_trace_stats();
     let profile = ProgramProfile::from_stats(&stats);
     Ok(render_sweep(
         &metadata,
@@ -344,23 +351,24 @@ pub fn materialize_sweep<R: Read>(
     format: BodyFormat,
     budgets: Budgets,
 ) -> Result<MaterializedSweep, ServeError> {
-    let mut stats = TraceStats::new();
+    let mut dense = DenseTraceStats::new();
     let mut collected: Vec<BranchRecord> = Vec::new();
     let (metadata, records) = match format {
         BodyFormat::Btrt => {
-            let mut reader = ChunkedTraceReader::btrt(body, budgets.chunk_records)
-                .map_err(ServeError::from_trace)?;
+            let mut reader =
+                FastBtrtReader::new(body, budgets.chunk_records).map_err(ServeError::from_trace)?;
             let metadata = reader.metadata().clone();
-            let records = collect_all(&mut reader, &mut stats, &mut collected, budgets)?;
+            let records = collect_all(&mut reader, &mut dense, &mut collected, budgets)?;
             (metadata, records)
         }
         BodyFormat::Text => {
             let mut reader = ChunkedTraceReader::text(body, budgets.chunk_records);
-            let records = collect_all(&mut reader, &mut stats, &mut collected, budgets)?;
+            let records = collect_all(&mut reader, &mut dense, &mut collected, budgets)?;
             let metadata = reader.source().metadata().clone();
             (metadata, records)
         }
     };
+    let stats = dense.into_trace_stats();
     let interned = Trace::from_records(metadata.clone(), collected).intern();
     Ok(MaterializedSweep {
         metadata,
@@ -449,23 +457,21 @@ fn render_sweep(
     AnalysisOutcome { value, records }
 }
 
-/// Drains a chunk reader, observing every record and enforcing the
-/// static-branch budget after each chunk.
-fn observe_all<I>(
-    reader: &mut I,
-    stats: &mut TraceStats,
+/// Drains a chunk stream, folding every chunk's columns into the dense
+/// statistics and enforcing the static-branch budget after each chunk. Chunk
+/// buffers are recycled back to the stream, so steady-state decoding
+/// allocates nothing.
+fn observe_all<S: ChunkStream>(
+    stream: &mut S,
+    stats: &mut DenseTraceStats,
     budgets: Budgets,
-) -> Result<u64, ServeError>
-where
-    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
-{
+) -> Result<u64, ServeError> {
     let mut records = 0u64;
-    for chunk in reader {
+    while let Some(chunk) = stream.pull() {
         let chunk = chunk.map_err(ServeError::from_trace)?;
         records += chunk.len() as u64;
-        for record in chunk.records() {
-            stats.observe(record);
-        }
+        stats.observe_chunk(&chunk);
+        stream.recycle(chunk);
         if stats.static_conditional_count() > budgets.max_static_branches {
             return Err(ServeError::BudgetExceeded {
                 what: "static branches",
@@ -476,25 +482,21 @@ where
     Ok(records)
 }
 
-/// Drains a chunk reader like [`observe_all`], additionally collecting every
+/// Drains a chunk stream like [`observe_all`], additionally collecting every
 /// record for materialization.
-fn collect_all<I>(
-    reader: &mut I,
-    stats: &mut TraceStats,
+fn collect_all<S: ChunkStream>(
+    stream: &mut S,
+    stats: &mut DenseTraceStats,
     collected: &mut Vec<BranchRecord>,
     budgets: Budgets,
-) -> Result<u64, ServeError>
-where
-    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
-{
+) -> Result<u64, ServeError> {
     let mut records = 0u64;
-    for chunk in reader {
+    while let Some(chunk) = stream.pull() {
         let chunk = chunk.map_err(ServeError::from_trace)?;
         records += chunk.len() as u64;
-        for record in chunk.records() {
-            stats.observe(record);
-        }
+        stats.observe_chunk(&chunk);
         collected.extend_from_slice(chunk.records());
+        stream.recycle(chunk);
         if stats.static_conditional_count() > budgets.max_static_branches {
             return Err(ServeError::BudgetExceeded {
                 what: "static branches",
@@ -505,28 +507,23 @@ where
     Ok(records)
 }
 
-/// Tees a chunk stream into [`TraceStats`] while the fused engine consumes
-/// it, and injects an error the moment the static-branch budget is crossed
-/// (flagged out-of-band so the caller can map it to a 413, not a 422).
-struct Observing<'a, I> {
-    inner: &'a mut I,
-    stats: &'a mut TraceStats,
+/// Tees a chunk stream into [`DenseTraceStats`] while the fused engine
+/// consumes it, and injects an error the moment the static-branch budget is
+/// crossed (flagged out-of-band so the caller can map it to a 413, not a
+/// 422). Recycled chunks are forwarded to the wrapped stream, so the engine's
+/// buffer reuse survives the tee.
+struct Observing<'a, S> {
+    inner: &'a mut S,
+    stats: &'a mut DenseTraceStats,
     budgets: Budgets,
     budget_hit: &'a Cell<bool>,
 }
 
-impl<I> Iterator for Observing<'_, I>
-where
-    I: Iterator<Item = btr_trace::Result<TraceChunk>>,
-{
-    type Item = btr_trace::Result<TraceChunk>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let chunk = self.inner.next()?;
+impl<S: ChunkStream> ChunkStream for Observing<'_, S> {
+    fn pull(&mut self) -> Option<btr_trace::Result<TraceChunk>> {
+        let chunk = self.inner.pull()?;
         if let Ok(chunk) = &chunk {
-            for record in chunk.records() {
-                self.stats.observe(record);
-            }
+            self.stats.observe_chunk(chunk);
             if self.stats.static_conditional_count() > self.budgets.max_static_branches {
                 self.budget_hit.set(true);
                 return Some(Err(btr_trace::TraceError::Io(std::io::Error::other(
@@ -535,6 +532,10 @@ where
             }
         }
         Some(chunk)
+    }
+
+    fn recycle(&mut self, chunk: TraceChunk) {
+        self.inner.recycle(chunk);
     }
 }
 

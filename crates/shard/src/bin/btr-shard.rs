@@ -17,6 +17,9 @@
 //! * `--seed N`             workload base seed
 //! * `--group N`            history lengths per unit (default 6)
 //! * `--windows N`          trace windows per benchmark (default 1)
+//! * `--trace-file PATH`    sweep a captured `BTRT` trace file instead of
+//!   regenerating workloads (requires exactly one `--benchmarks` entry, the
+//!   label results are filed under; every worker must see PATH)
 //!
 //! Scheduling options (how units are executed):
 //!
@@ -58,6 +61,7 @@ struct Options {
     seed: Option<u64>,
     group: usize,
     windows: u32,
+    trace_file: Option<String>,
     config: CoordinatorConfig,
     worker: Option<PathBuf>,
 }
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Options, String> {
         seed: None,
         group: 6,
         windows: 1,
+        trace_file: None,
         config: CoordinatorConfig::default(),
         worker: None,
     };
@@ -115,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
                 options.scale = Some(v.parse().map_err(|_| format!("invalid scale {v:?}"))?);
             }
             "--seed" => options.seed = Some(parse_int(&value("--seed")?, "--seed")?),
+            "--trace-file" => options.trace_file = Some(value("--trace-file")?),
             "--group" => options.group = parse_int(&value("--group")?, "--group")? as usize,
             "--windows" => options.windows = parse_int(&value("--windows")?, "--windows")? as u32,
             "--workers" => {
@@ -187,6 +193,13 @@ fn build_spec(options: &Options) -> Result<SweepSpec, String> {
             })
             .collect::<Result<Vec<_>, String>>()?,
     };
+    if options.trace_file.is_some() && benchmarks.len() != 1 {
+        return Err(
+            "--trace-file sweeps one captured trace: name exactly one --benchmarks entry \
+             as its label"
+                .to_string(),
+        );
+    }
     Ok(SweepSpec {
         family: options.family,
         histories: options.histories.clone(),
@@ -194,6 +207,7 @@ fn build_spec(options: &Options) -> Result<SweepSpec, String> {
         config,
         history_group: options.group,
         window_count: options.windows,
+        trace_file: options.trace_file.clone(),
     })
 }
 

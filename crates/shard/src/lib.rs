@@ -33,6 +33,7 @@
 //!     config: SuiteConfig::default(),
 //!     history_group: 6,
 //!     window_count: 2,
+//!     trace_file: None,
 //! };
 //! let coordinator = Coordinator::new(OutDir::new("out"), CoordinatorConfig::default());
 //! let result = coordinator.run(spec).expect("sweep converges");

@@ -5,12 +5,16 @@
 //! A unit ships *no trace bytes*: workload generation is deterministic per
 //! `(Benchmark, SuiteConfig)` (pinned by the workloads crate), so a worker
 //! regenerates its trace from the descriptors in the unit and the partial it
-//! returns is bit-identical wherever it runs.
+//! returns is bit-identical wherever it runs. Alternatively a spec can name
+//! a shared `BTRT` trace file ([`SweepSpec::trace_file`]); units then decode
+//! it through the columnar [`btr_trace::FastBtrtReader`] fast path instead
+//! of regenerating, which is how captured (non-synthetic) traces are swept.
 
 use crate::error::{Result, ShardError};
 use btr_sim::config::{PredictorFamily, PredictorKind, WarmupWindow};
 use btr_sim::engine::{result_from_dense, RunResult, SimEngine};
 use btr_sim::sweep::SweepResult;
+use btr_trace::{read_interned_btrt, InternedTrace};
 use btr_wire::{MapBuilder, Value, Wire, WireError};
 use btr_workloads::{Benchmark, SuiteConfig};
 
@@ -33,6 +37,10 @@ pub struct SweepSpec {
     /// contiguous windows simulated independently (with full-prefix warmup,
     /// so merged windows stay bit-identical to the sequential run).
     pub window_count: u32,
+    /// Path to a shared `BTRT` trace file to sweep instead of regenerating
+    /// the benchmark workload. Requires exactly one benchmark (the label the
+    /// results are filed under); every worker must see the file at this path.
+    pub trace_file: Option<String>,
 }
 
 impl SweepSpec {
@@ -66,6 +74,16 @@ impl SweepSpec {
         if self.window_count == 0 {
             return Err(ShardError::invalid_spec("window_count must be positive"));
         }
+        if let Some(path) = &self.trace_file {
+            if path.is_empty() {
+                return Err(ShardError::invalid_spec("trace_file path is empty"));
+            }
+            if self.benchmarks.len() != 1 {
+                return Err(ShardError::invalid_spec(
+                    "trace_file sweeps exactly one trace, so exactly one benchmark label",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -94,6 +112,7 @@ impl SweepSpec {
                         config: self.config,
                         window_index,
                         window_count: self.window_count,
+                        trace_file: self.trace_file.clone(),
                     });
                 }
             }
@@ -106,7 +125,7 @@ impl SweepSpec {
 /// manifest so `resume` needs nothing but the output directory.
 impl Wire for SweepSpec {
     fn to_value(&self) -> Value {
-        MapBuilder::new()
+        let mut builder = MapBuilder::new()
             .field("family", self.family.to_value())
             .field("histories", Value::U64s(histories_to_u64s(&self.histories)))
             .field(
@@ -115,8 +134,13 @@ impl Wire for SweepSpec {
             )
             .field("config", self.config.to_value())
             .field("history_group", self.history_group as u64)
-            .field("window_count", u64::from(self.window_count))
-            .build()
+            .field("window_count", u64::from(self.window_count));
+        // Encoded only when set, so manifests written before the field
+        // existed decode unchanged.
+        if let Some(path) = &self.trace_file {
+            builder = builder.field("trace_file", path.as_str());
+        }
+        builder.build()
     }
 
     fn from_value(value: &Value) -> std::result::Result<Self, WireError> {
@@ -133,6 +157,7 @@ impl Wire for SweepSpec {
                 .map_err(|_| WireError::schema("history_group exceeds usize"))?,
             window_count: u32::try_from(value.get("window_count")?.as_u64()?)
                 .map_err(|_| WireError::schema("window_count exceeds u32"))?,
+            trace_file: trace_file_from_value(value)?,
         })
     }
 }
@@ -156,6 +181,9 @@ pub struct UnitSpec {
     pub window_index: u32,
     /// Total windows the trace is split into (1 = whole trace).
     pub window_count: u32,
+    /// Shared `BTRT` trace file to decode instead of regenerating the
+    /// benchmark (see [`SweepSpec::trace_file`]).
+    pub trace_file: Option<String>,
 }
 
 impl UnitSpec {
@@ -175,8 +203,10 @@ impl UnitSpec {
         (start, end)
     }
 
-    /// Executes the unit: regenerate the benchmark trace, sweep this unit's
-    /// history group over its window, and return the (unlabeled) partial.
+    /// Executes the unit: obtain the trace (regenerate the benchmark, or
+    /// decode [`UnitSpec::trace_file`] through the `BTRT` fast path), sweep
+    /// this unit's history group over its window, and return the (unlabeled)
+    /// partial.
     ///
     /// With one window the whole trace runs on the fused sweep path — the
     /// same path the sequential [`btr_sim::sweep::HistorySweep::run`]
@@ -189,8 +219,7 @@ impl UnitSpec {
         if self.histories.is_empty() {
             return Err(ShardError::invalid_spec("unit has no history lengths"));
         }
-        let trace = self.benchmark.generate(&self.config);
-        let interned = trace.intern();
+        let interned = self.load_trace()?;
         let engine = SimEngine::new();
         if self.window_count <= 1 {
             let mut fused = self.family.fused_paper(&self.histories);
@@ -218,21 +247,43 @@ impl UnitSpec {
         }
         Ok(SweepResult::from_parts(self.family, parts))
     }
+
+    /// The unit's interned trace: decoded from [`UnitSpec::trace_file`] via
+    /// the columnar fast path when set, regenerated from the benchmark
+    /// descriptors otherwise. Both routes intern with first-appearance ids,
+    /// so results are bit-identical for identical record streams.
+    fn load_trace(&self) -> Result<InternedTrace> {
+        match &self.trace_file {
+            Some(path) => {
+                let (_metadata, interned) = read_interned_btrt(path).map_err(|e| {
+                    ShardError::io(
+                        format!("decoding trace file {path}"),
+                        std::io::Error::other(e.to_string()),
+                    )
+                })?;
+                Ok(interned)
+            }
+            None => Ok(self.benchmark.generate(&self.config).intern()),
+        }
+    }
 }
 
 /// [`UnitSpec`] encodes every field verbatim; the coordinator writes one
 /// unit file per unit and workers decode it as their entire job description.
 impl Wire for UnitSpec {
     fn to_value(&self) -> Value {
-        MapBuilder::new()
+        let mut builder = MapBuilder::new()
             .field("unit_id", u64::from(self.unit_id))
             .field("family", self.family.to_value())
             .field("histories", Value::U64s(histories_to_u64s(&self.histories)))
             .field("benchmark", self.benchmark.to_value())
             .field("config", self.config.to_value())
             .field("window_index", u64::from(self.window_index))
-            .field("window_count", u64::from(self.window_count))
-            .build()
+            .field("window_count", u64::from(self.window_count));
+        if let Some(path) = &self.trace_file {
+            builder = builder.field("trace_file", path.as_str());
+        }
+        builder.build()
     }
 
     fn from_value(value: &Value) -> std::result::Result<Self, WireError> {
@@ -254,12 +305,22 @@ impl Wire for UnitSpec {
             config: SuiteConfig::from_value(value.get("config")?)?,
             window_index,
             window_count,
+            trace_file: trace_file_from_value(value)?,
         })
     }
 }
 
 fn histories_to_u64s(histories: &[u32]) -> Vec<u64> {
     histories.iter().map(|h| u64::from(*h)).collect()
+}
+
+/// Decodes the optional `trace_file` field shared by both spec encodings;
+/// absent (as in pre-field manifests) means regenerate-from-descriptors.
+fn trace_file_from_value(value: &Value) -> std::result::Result<Option<String>, WireError> {
+    Ok(match value.get_opt("trace_file")? {
+        Some(path) => Some(path.as_str()?.to_string()),
+        None => None,
+    })
 }
 
 fn histories_from_value(value: &Value) -> std::result::Result<Vec<u32>, WireError> {
@@ -282,6 +343,7 @@ mod tests {
             config: SuiteConfig::default().with_scale(2e-7),
             history_group: 3,
             window_count: 2,
+            trace_file: None,
         }
     }
 

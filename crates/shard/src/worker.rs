@@ -111,6 +111,7 @@ mod tests {
             config: SuiteConfig::default().with_scale(5e-8),
             history_group: 2,
             window_count: 1,
+            trace_file: None,
         }
         .plan_units()
         .expect("spec is valid")

@@ -24,6 +24,7 @@ fn small_spec() -> SweepSpec {
         config: SuiteConfig::default().with_scale(5e-8),
         history_group: 3,
         window_count: 2,
+        trace_file: None,
     }
 }
 

@@ -28,6 +28,7 @@ fn spec() -> SweepSpec {
         config: SuiteConfig::default().with_scale(5e-8),
         history_group: 2,
         window_count: 3,
+        trace_file: None,
     }
 }
 

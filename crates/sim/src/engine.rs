@@ -44,7 +44,7 @@ use btr_predictors::dispatch::DispatchPredictor;
 use btr_predictors::fused::FusedSweepPredictor;
 use btr_predictors::predictor::{BranchPredictor, PredictionStats};
 use btr_predictors::swar::{self, BatchLoader, CounterLut, SwarBlock, SwarScratch};
-use btr_trace::{BranchAddr, InternedTrace, Trace, TraceChunk};
+use btr_trace::{BranchAddr, ChunkStream, InternedTrace, Outcome, Trace, TraceChunk};
 use btr_wire::{MapBuilder, Value, Wire, WireError};
 
 /// Number of records per [`FusedBlock`] in the fused engine paths: small
@@ -284,19 +284,105 @@ pub fn result_from_dense(dense: DenseMissTable, addrs: &[BranchAddr]) -> RunResu
     }
 }
 
+/// A record source the fused block driver can consume: row-wise
+/// [`btr_trace::InternedRecord`] slices (the eager paths) or the columnar
+/// chunk layout (the streamed paths), without the streamed path paying a
+/// row-materialisation per record.
+trait FusedRecords {
+    fn len(&self) -> usize;
+
+    /// Feeds records `start..end` into the predictor's block loader.
+    fn load_block(
+        &self,
+        fused: &mut FusedSweepPredictor,
+        block: &mut btr_predictors::fused::FusedBlock,
+        start: usize,
+        end: usize,
+    );
+
+    /// Appends the interned ids of records `start..end` to `ids`.
+    fn extend_ids(&self, start: usize, end: usize, ids: &mut Vec<u32>);
+}
+
+impl FusedRecords for &[btr_trace::InternedRecord] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn load_block(
+        &self,
+        fused: &mut FusedSweepPredictor,
+        block: &mut btr_predictors::fused::FusedBlock,
+        start: usize,
+        end: usize,
+    ) {
+        fused.load_block(
+            self[start..end].iter().map(|r| (r.addr(), r.outcome())),
+            block,
+        );
+    }
+
+    fn extend_ids(&self, start: usize, end: usize, ids: &mut Vec<u32>) {
+        ids.extend(self[start..end].iter().map(btr_trace::InternedRecord::id));
+    }
+}
+
+/// The columnar conditional view of one [`TraceChunk`].
+struct CondColumns<'a> {
+    addrs: &'a [BranchAddr],
+    taken: &'a [bool],
+    ids: &'a [u32],
+}
+
+impl<'a> CondColumns<'a> {
+    fn of(chunk: &'a TraceChunk) -> Self {
+        CondColumns {
+            addrs: chunk.cond_addrs(),
+            taken: chunk.cond_taken(),
+            ids: chunk.cond_ids(),
+        }
+    }
+}
+
+impl FusedRecords for CondColumns<'_> {
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn load_block(
+        &self,
+        fused: &mut FusedSweepPredictor,
+        block: &mut btr_predictors::fused::FusedBlock,
+        start: usize,
+        end: usize,
+    ) {
+        fused.load_block(
+            self.addrs[start..end]
+                .iter()
+                .zip(&self.taken[start..end])
+                .map(|(&addr, &taken)| (addr, Outcome::from_bool(taken))),
+            block,
+        );
+    }
+
+    fn extend_ids(&self, start: usize, end: usize, ids: &mut Vec<u32>) {
+        ids.extend_from_slice(&self.ids[start..end]);
+    }
+}
+
 /// Drives `records` through a fused predictor block by block: load a block
 /// (advancing the shared history registers and capturing pre-push patterns),
 /// then replay every history slot's PHT over it in a cache-resident phase.
 ///
-/// `start_pos` is the absolute stream position of `records[0]`; the record
-/// at absolute position `p` is scored only when `p >= warmup` (blocks are
-/// split at the warmup boundary so a block is either fully trained-only or
-/// fully scored). `ids` is a reusable scratch buffer.
+/// `start_pos` is the absolute stream position of the first record; the
+/// record at absolute position `p` is scored only when `p >= warmup` (blocks
+/// are split at the warmup boundary so a block is either fully trained-only
+/// or fully scored). `ids` is a reusable scratch buffer.
 #[allow(clippy::too_many_arguments)]
-fn drive_fused_blocks(
+fn drive_fused_blocks<R: FusedRecords>(
     fused: &mut FusedSweepPredictor,
     block: &mut btr_predictors::fused::FusedBlock,
-    records: &[btr_trace::InternedRecord],
+    records: R,
     start_pos: u64,
     warmup: u64,
     acc: &mut FusedMissAccumulator,
@@ -310,11 +396,10 @@ fn drive_fused_blocks(
             let to_boundary = usize::try_from(warmup - pos).unwrap_or(usize::MAX);
             end = end.min(offset.saturating_add(to_boundary));
         }
-        let batch = &records[offset..end];
-        fused.load_block(batch.iter().map(|r| (r.addr(), r.outcome())), block);
+        records.load_block(fused, block, offset, end);
         if pos >= warmup {
             ids.clear();
-            ids.extend(batch.iter().map(btr_trace::InternedRecord::id));
+            records.extend_ids(offset, end, ids);
             for &id in ids.iter() {
                 acc.lookups[id as usize] += 1;
             }
@@ -605,9 +690,11 @@ impl SimEngine {
             .collect()
     }
 
-    /// [`SimEngine::run_fused`] over a stream of [`TraceChunk`]s: the whole
-    /// history curve from **one** chunked decode pass, without materialising
-    /// the trace (peak memory is one chunk plus the per-slot tables).
+    /// [`SimEngine::run_fused`] over a [`ChunkStream`]: the whole history
+    /// curve from **one** chunked decode pass, without materialising the
+    /// trace (peak memory is one chunk plus the per-slot tables). Consumed
+    /// chunks are recycled back to the stream, so a recycling reader (e.g.
+    /// [`btr_trace::FastBtrtReader`]) streams with zero per-chunk allocation.
     ///
     /// The chunk contract matches [`SimEngine::run_streamed`]; results are
     /// bit-identical to the eager [`SimEngine::run_fused`] over the same
@@ -616,77 +703,91 @@ impl SimEngine {
     /// # Errors
     ///
     /// Propagates the first decode error the chunk stream yields.
-    pub fn run_fused_streamed<I>(
+    pub fn run_fused_streamed<S>(
         &self,
-        chunks: I,
+        mut chunks: S,
         fused: &mut FusedSweepPredictor,
     ) -> btr_trace::Result<Vec<RunResult>>
     where
-        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+        S: ChunkStream,
     {
         let mut acc = FusedMissAccumulator::new(fused.slot_count(), 0);
         let mut block = fused.new_block(FUSED_BLOCK_RECORDS);
         let mut ids = Vec::with_capacity(FUSED_BLOCK_RECORDS);
         let mut addrs: Vec<BranchAddr> = Vec::new();
         let mut seen = 0u64;
-        for chunk in chunks {
+        while let Some(chunk) = chunks.pull() {
             let chunk = chunk?;
-            let records = chunk.conditional();
-            for record in records {
-                if record.id() as usize == addrs.len() {
-                    addrs.push(record.addr());
+            let cols = CondColumns::of(&chunk);
+            for (&id, &addr) in cols.ids.iter().zip(cols.addrs) {
+                if id as usize == addrs.len() {
+                    addrs.push(addr);
                 }
             }
             acc.grow_to(addrs.len());
+            let count = cols.len();
             drive_fused_blocks(
                 fused,
                 &mut block,
-                records,
+                cols,
                 seen,
                 self.warmup,
                 &mut acc,
                 &mut ids,
             );
-            seen += records.len() as u64;
+            seen += count as u64;
+            chunks.recycle(chunk);
         }
         Ok(acc.into_results(&addrs))
     }
 
-    /// Runs a concrete predictor over a stream of [`TraceChunk`]s without
-    /// ever materialising the whole trace: peak memory is one chunk plus the
-    /// per-static-branch tables, independent of trace length.
+    /// Runs a concrete predictor over a [`ChunkStream`] without ever
+    /// materialising the whole trace: peak memory is one chunk plus the
+    /// per-static-branch tables, independent of trace length. Consumed
+    /// chunks are recycled back to the stream.
     ///
     /// The chunks must arrive in stream order with ids assigned by one
-    /// persistent interner (what [`btr_trace::ChunkedTraceReader`] produces);
-    /// the id → address table is rebuilt incrementally from the records
-    /// themselves, since a dense id first appears on its defining record.
-    /// Results are bit-identical to [`SimEngine::run_dispatch`] over the
-    /// eagerly-read trace — pinned by `tests/streamed_equivalence.rs`.
+    /// persistent interner (what [`btr_trace::ChunkedTraceReader`] and
+    /// [`btr_trace::FastBtrtReader`] produce); the id → address table is
+    /// rebuilt incrementally from the columns themselves, since a dense id
+    /// first appears on its defining record. Results are bit-identical to
+    /// [`SimEngine::run_dispatch`] over the eagerly-read trace — pinned by
+    /// `tests/streamed_equivalence.rs`.
     ///
     /// # Errors
     ///
     /// Propagates the first decode error the chunk stream yields.
-    pub fn run_streamed<P, I>(&self, chunks: I, predictor: &mut P) -> btr_trace::Result<RunResult>
+    pub fn run_streamed<P, S>(
+        &self,
+        mut chunks: S,
+        predictor: &mut P,
+    ) -> btr_trace::Result<RunResult>
     where
         P: BranchPredictor,
-        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+        S: ChunkStream,
     {
         let mut dense = DenseMissTable::new(0);
         let mut addrs: Vec<BranchAddr> = Vec::new();
         let mut seen = 0u64;
-        for chunk in chunks {
+        while let Some(chunk) = chunks.pull() {
             let chunk = chunk?;
-            for record in chunk.conditional() {
-                if record.id() as usize == addrs.len() {
-                    addrs.push(record.addr());
+            for ((&addr, &id), &taken) in chunk
+                .cond_addrs()
+                .iter()
+                .zip(chunk.cond_ids())
+                .zip(chunk.cond_taken())
+            {
+                if id as usize == addrs.len() {
+                    addrs.push(addr);
                 }
-                let hit = predictor.access(record.addr(), record.outcome());
+                let hit = predictor.access(addr, Outcome::from_bool(taken));
                 seen += 1;
                 if seen <= self.warmup {
                     continue;
                 }
-                dense.record_growing(record.id(), hit);
+                dense.record_growing(id, hit);
             }
+            chunks.recycle(chunk);
         }
         Ok(result_from_dense(dense, &addrs))
     }
@@ -697,13 +798,13 @@ impl SimEngine {
     /// # Errors
     ///
     /// Propagates the first decode error the chunk stream yields.
-    pub fn run_streamed_dispatch<I>(
+    pub fn run_streamed_dispatch<S>(
         &self,
-        chunks: I,
+        chunks: S,
         predictor: &mut DispatchPredictor,
     ) -> btr_trace::Result<RunResult>
     where
-        I: IntoIterator<Item = btr_trace::Result<TraceChunk>>,
+        S: ChunkStream,
     {
         match predictor {
             DispatchPredictor::TwoLevel(p) => self.run_streamed(chunks, p),

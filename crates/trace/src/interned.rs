@@ -146,6 +146,14 @@ impl InternedTrace {
         Self::from_conditional_records(trace.conditional_records())
     }
 
+    /// Assembles an interned trace from already-interned parts: `addrs` in id
+    /// (first-appearance) order and records carrying ids into it. Used by the
+    /// streaming readers, whose persistent interner assigns exactly the ids
+    /// [`Trace::intern`] would.
+    pub(crate) fn from_parts(addrs: Vec<BranchAddr>, records: Vec<InternedRecord>) -> Self {
+        InternedTrace { addrs, records }
+    }
+
     /// Interns a slice of records, all of which must be conditional.
     pub(crate) fn from_conditional_records(records: &[BranchRecord]) -> Self {
         let mut interner = IncrementalInterner::new();

@@ -28,6 +28,18 @@ use std::io::{Read, Write};
 const MAGIC: [u8; 4] = *b"BTRT";
 const VERSION: u32 = 1;
 
+/// Flag-byte bit carrying the outcome (taken when set).
+pub(crate) const FLAG_TAKEN: u8 = 1 << 3;
+/// Flag-byte bit marking an absolute target varint after the delta.
+pub(crate) const FLAG_TARGET: u8 = 1 << 4;
+/// Flag-byte mask selecting the branch-kind code.
+pub(crate) const KIND_MASK: u8 = 0x07;
+
+/// Upper bound on one encoded record: flag byte plus two maximal (10-byte)
+/// varints. The block decoder in [`super::fast`] uses this to know when a
+/// record can be decoded without any bounds checks against end-of-buffer.
+pub(crate) const MAX_RECORD_BYTES: usize = 1 + 10 + 10;
+
 fn kind_code(kind: BranchKind) -> u8 {
     match kind {
         BranchKind::Conditional => 0,
@@ -38,7 +50,7 @@ fn kind_code(kind: BranchKind) -> u8 {
     }
 }
 
-fn kind_from_code(code: u8) -> Option<BranchKind> {
+pub(crate) fn kind_from_code(code: u8) -> Option<BranchKind> {
     Some(match code {
         0 => BranchKind::Conditional,
         1 => BranchKind::Unconditional,
@@ -63,7 +75,7 @@ fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
     btr_wire::varint::read_varint(r, context).map_err(varint_error)
 }
 
-fn varint_error(e: btr_wire::WireError) -> TraceError {
+pub(crate) fn varint_error(e: btr_wire::WireError) -> TraceError {
     match e {
         btr_wire::WireError::Io(e) => TraceError::Io(e),
         btr_wire::WireError::UnexpectedEof { context } => TraceError::UnexpectedEof {
@@ -155,7 +167,9 @@ fn write_record<W: Write>(w: &mut W, record: &BranchRecord, prev_addr: &mut u64)
         flags |= 1 << 4;
     }
     w.write_all(&[flags])?;
-    let delta = record.addr().raw() as i64 - *prev_addr as i64;
+    // Wrapping, to mirror the decoder's `wrapping_add`: a jump across the
+    // address-space midpoint is a legal delta, not an overflow.
+    let delta = record.addr().raw().wrapping_sub(*prev_addr) as i64;
     write_varint(w, zigzag_encode(delta))?;
     *prev_addr = record.addr().raw();
     if let Some(target) = record.target() {
@@ -167,9 +181,9 @@ fn write_record<W: Write>(w: &mut W, record: &BranchRecord, prev_addr: &mut u64)
 /// A [`Read`] adapter counting the bytes consumed so far, so decode errors
 /// can report the exact stream offset they occurred at.
 #[derive(Debug)]
-struct CountingReader<R> {
-    inner: R,
-    bytes: u64,
+pub(crate) struct CountingReader<R> {
+    pub(crate) inner: R,
+    pub(crate) bytes: u64,
 }
 
 impl<R: Read> Read for CountingReader<R> {
@@ -178,6 +192,41 @@ impl<R: Read> Read for CountingReader<R> {
         self.bytes += n as u64;
         Ok(n)
     }
+}
+
+/// Parses a `BTRT` header, returning the metadata and the declared record
+/// count. Shared by the per-record [`BinaryRecordReader`] and the block
+/// decoder in [`super::fast`] so the two paths cannot diverge on header
+/// validation or error contexts.
+pub(crate) fn read_header<R: Read>(reader: &mut CountingReader<R>) -> Result<(TraceMetadata, u64)> {
+    let magic: [u8; 4] = read_exact(reader, "magic")?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(read_exact(reader, "version")?);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(read_exact(reader, "record count")?);
+    let bench_len = u16::from_le_bytes(read_exact(reader, "benchmark length")?) as usize;
+    let mut bench = vec![0u8; bench_len];
+    read_exact_into(reader, &mut bench, "benchmark name")?;
+    let input_len = u16::from_le_bytes(read_exact(reader, "input length")?) as usize;
+    let mut input = vec![0u8; input_len];
+    read_exact_into(reader, &mut input, "input name")?;
+    let seed_flag: [u8; 1] = read_exact(reader, "seed flag")?;
+    let seed = if seed_flag[0] == 1 {
+        Some(u64::from_le_bytes(read_exact(reader, "seed")?))
+    } else {
+        None
+    };
+    let metadata = TraceMetadata {
+        benchmark: String::from_utf8_lossy(&bench).into_owned(),
+        input_set: String::from_utf8_lossy(&input).into_owned(),
+        description: String::new(),
+        seed,
+    };
+    Ok((metadata, declared))
 }
 
 /// Streaming reader yielding one [`BranchRecord`] at a time from a `BTRT`
@@ -202,33 +251,7 @@ impl<R: Read> BinaryRecordReader<R> {
             inner: reader,
             bytes: 0,
         };
-        let magic: [u8; 4] = read_exact(&mut reader, "magic")?;
-        if magic != MAGIC {
-            return Err(TraceError::BadMagic { found: magic });
-        }
-        let version = u32::from_le_bytes(read_exact(&mut reader, "version")?);
-        if version != VERSION {
-            return Err(TraceError::UnsupportedVersion { found: version });
-        }
-        let declared = u64::from_le_bytes(read_exact(&mut reader, "record count")?);
-        let bench_len = u16::from_le_bytes(read_exact(&mut reader, "benchmark length")?) as usize;
-        let mut bench = vec![0u8; bench_len];
-        read_exact_into(&mut reader, &mut bench, "benchmark name")?;
-        let input_len = u16::from_le_bytes(read_exact(&mut reader, "input length")?) as usize;
-        let mut input = vec![0u8; input_len];
-        read_exact_into(&mut reader, &mut input, "input name")?;
-        let seed_flag: [u8; 1] = read_exact(&mut reader, "seed flag")?;
-        let seed = if seed_flag[0] == 1 {
-            Some(u64::from_le_bytes(read_exact(&mut reader, "seed")?))
-        } else {
-            None
-        };
-        let metadata = TraceMetadata {
-            benchmark: String::from_utf8_lossy(&bench).into_owned(),
-            input_set: String::from_utf8_lossy(&input).into_owned(),
-            description: String::new(),
-            seed,
-        };
+        let (metadata, declared) = read_header(&mut reader)?;
         Ok(BinaryRecordReader {
             reader,
             metadata,
@@ -267,24 +290,23 @@ impl<R: Read> BinaryRecordReader<R> {
         }
     }
 
+    // Kept free of error-path decoration: end-of-stream promotion to
+    // `TruncatedRecord` happens once in `next()`, so the hot loop carries no
+    // per-field closure captures.
     fn read_record(&mut self) -> Result<BranchRecord> {
-        let flags: [u8; 1] =
-            read_exact(&mut self.reader, "record flags").map_err(|e| self.truncation(e))?;
+        let flags: [u8; 1] = read_exact(&mut self.reader, "record flags")?;
         let flags = flags[0];
-        let kind = kind_from_code(flags & 0x07).ok_or(TraceError::UnknownKind {
-            code: char::from(b'0' + (flags & 0x07)),
+        let kind = kind_from_code(flags & KIND_MASK).ok_or(TraceError::UnknownKind {
+            code: char::from(b'0' + (flags & KIND_MASK)),
         })?;
-        let outcome = Outcome::from_bool(flags & (1 << 3) != 0);
-        let has_target = flags & (1 << 4) != 0;
-        let delta = read_varint(&mut self.reader, "address delta")
-            .map_err(|e| self.truncation(e))
-            .map(zigzag_decode)?;
-        let addr = (self.prev_addr as i64 + delta) as u64;
+        let outcome = Outcome::from_bool(flags & FLAG_TAKEN != 0);
+        let has_target = flags & FLAG_TARGET != 0;
+        let delta = zigzag_decode(read_varint(&mut self.reader, "address delta")?);
+        let addr = self.prev_addr.wrapping_add(delta as u64);
         self.prev_addr = addr;
         let mut record = BranchRecord::new(BranchAddr::new(addr), kind, outcome);
         if has_target {
-            let target =
-                read_varint(&mut self.reader, "target address").map_err(|e| self.truncation(e))?;
+            let target = read_varint(&mut self.reader, "target address")?;
             record = record.with_target(BranchAddr::new(target));
         }
         Ok(record)
@@ -304,8 +326,11 @@ impl<R: Read> Iterator for BinaryRecordReader<R> {
                 Some(Ok(record))
             }
             Err(e) => {
-                // Fuse the iterator: a decode error is not recoverable
-                // mid-stream, since record boundaries are lost.
+                // Promote end-of-stream to the typed truncation error here —
+                // once per failure, not once per field — then fuse the
+                // iterator: a decode error is not recoverable mid-stream,
+                // since record boundaries are lost.
+                let e = self.truncation(e);
                 self.produced = self.declared;
                 Some(Err(e))
             }

@@ -61,19 +61,68 @@ use std::path::Path;
 /// overhead at tens of millions of records per second.
 pub const DEFAULT_CHUNK_RECORDS: usize = 1 << 16;
 
-/// One bounded window of a trace produced by [`ChunkedTraceReader`].
+/// One bounded window of a trace produced by [`ChunkedTraceReader`] (or the
+/// block-decoding [`crate::io::fast::FastBtrtReader`]).
 ///
 /// Carries both the raw records (all kinds, for profile building) and the
-/// conditional subset with dense interned ids inline (for simulation).
+/// conditional subset in **columnar** (structure-of-arrays) form: parallel
+/// address / interned-id / outcome columns, one entry per conditional record,
+/// in trace order. The columns are what the simulation hot paths consume —
+/// `SwarBlock`/`FusedBlock` packing reads each column sequentially, so no
+/// per-record struct is re-touched between decode and replay — while
+/// [`TraceChunk::conditional`] still offers the row-wise [`InternedRecord`]
+/// view for code that wants one.
+///
+/// Ids are assigned in global first-appearance order by the reader's
+/// persistent interner, so across all chunks they are identical to the ids
+/// [`crate::Trace::intern`] assigns to the eagerly-read trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceChunk {
-    index: usize,
-    first_record: u64,
-    records: Vec<BranchRecord>,
-    conditional: Vec<InternedRecord>,
+    pub(crate) index: usize,
+    pub(crate) first_record: u64,
+    pub(crate) records: Vec<BranchRecord>,
+    /// Conditional-record address column.
+    pub(crate) cond_addrs: Vec<crate::record::BranchAddr>,
+    /// Conditional-record dense interned-id column.
+    pub(crate) cond_ids: Vec<u32>,
+    /// Conditional-record outcome column (`true` = taken).
+    pub(crate) cond_taken: Vec<bool>,
 }
 
 impl TraceChunk {
+    /// An empty chunk, ready to be filled (or recycled) by a reader.
+    pub(crate) fn empty() -> Self {
+        TraceChunk {
+            index: 0,
+            first_record: 0,
+            records: Vec::new(),
+            cond_addrs: Vec::new(),
+            cond_ids: Vec::new(),
+            cond_taken: Vec::new(),
+        }
+    }
+
+    /// Clears every buffer, keeping their capacity for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.records.clear();
+        self.cond_addrs.clear();
+        self.cond_ids.clear();
+        self.cond_taken.clear();
+    }
+
+    /// Appends one conditional record to the columns.
+    #[inline]
+    pub(crate) fn push_conditional(
+        &mut self,
+        addr: crate::record::BranchAddr,
+        id: u32,
+        taken: bool,
+    ) {
+        self.cond_addrs.push(addr);
+        self.cond_ids.push(id);
+        self.cond_taken.push(taken);
+    }
+
     /// The chunk's position in the stream (0, 1, 2, …).
     pub fn index(&self) -> usize {
         self.index
@@ -90,11 +139,35 @@ impl TraceChunk {
     }
 
     /// The conditional records of this chunk with their dense interned ids,
-    /// in trace order. Ids are assigned in global first-appearance order by
-    /// the reader's persistent interner, so they match what
-    /// [`crate::Trace::intern`] would assign over the whole trace.
-    pub fn conditional(&self) -> &[InternedRecord] {
-        &self.conditional
+    /// in trace order — a row-wise view assembled from the columns.
+    pub fn conditional(&self) -> impl ExactSizeIterator<Item = InternedRecord> + '_ {
+        self.cond_addrs
+            .iter()
+            .zip(&self.cond_ids)
+            .zip(&self.cond_taken)
+            .map(|((&addr, &id), &taken)| InternedRecord::new(addr, id, taken))
+    }
+
+    /// Number of conditional records in this chunk.
+    pub fn cond_len(&self) -> usize {
+        self.cond_addrs.len()
+    }
+
+    /// The conditional-record address column, in trace order.
+    pub fn cond_addrs(&self) -> &[crate::record::BranchAddr] {
+        &self.cond_addrs
+    }
+
+    /// The conditional-record interned-id column, parallel to
+    /// [`TraceChunk::cond_addrs`].
+    pub fn cond_ids(&self) -> &[u32] {
+        &self.cond_ids
+    }
+
+    /// The conditional-record outcome column (`true` = taken), parallel to
+    /// [`TraceChunk::cond_addrs`].
+    pub fn cond_taken(&self) -> &[bool] {
+        &self.cond_taken
     }
 
     /// Number of records (of any kind) in this chunk.
@@ -110,6 +183,50 @@ impl TraceChunk {
     /// Consumes the chunk, returning its raw record vector.
     pub fn into_records(self) -> Vec<BranchRecord> {
         self.records
+    }
+}
+
+/// A pull source of [`TraceChunk`]s with buffer recycling.
+///
+/// This is the contract the streaming engine paths (`SimEngine::run_streamed`
+/// / `run_fused_streamed` in `btr-sim`) consume: pull the next chunk with
+/// [`ChunkStream::pull`], and once done with it hand the chunk *back*
+/// with [`ChunkStream::recycle`] so the reader can refill its buffers in
+/// place. With a consumer that recycles, steady-state streaming does zero
+/// per-chunk allocation — the reader and the engine swap two chunk buffers
+/// back and forth.
+///
+/// Implementations fuse after the first error, like the readers themselves.
+/// `recycle` is advisory: the default drops the chunk, and a stream may
+/// ignore returned buffers entirely.
+pub trait ChunkStream {
+    /// Pulls the next chunk: `None` when the stream is exhausted.
+    fn pull(&mut self) -> Option<Result<TraceChunk>>;
+
+    /// Returns a consumed chunk's buffers for reuse. Optional.
+    fn recycle(&mut self, chunk: TraceChunk) {
+        let _ = chunk;
+    }
+}
+
+impl<S: ChunkStream> ChunkStream for &mut S {
+    fn pull(&mut self) -> Option<Result<TraceChunk>> {
+        (**self).pull()
+    }
+
+    fn recycle(&mut self, chunk: TraceChunk) {
+        (**self).recycle(chunk);
+    }
+}
+
+/// Adapts any iterator of chunk results into a (non-recycling)
+/// [`ChunkStream`], for custom chunk sources that are not readers.
+#[derive(Debug)]
+pub struct ChunkIter<I>(pub I);
+
+impl<I: Iterator<Item = Result<TraceChunk>>> ChunkStream for ChunkIter<I> {
+    fn pull(&mut self) -> Option<Result<TraceChunk>> {
+        self.0.next()
     }
 }
 
@@ -130,6 +247,9 @@ pub struct ChunkedTraceReader<I> {
     next_chunk: usize,
     records_read: u64,
     finished: bool,
+    /// Recycled chunk buffers handed back via [`ChunkStream::recycle`]; the
+    /// next chunk is decoded into them instead of fresh allocations.
+    spare: Option<TraceChunk>,
 }
 
 impl<R: Read> ChunkedTraceReader<BinaryRecordReader<R>> {
@@ -246,6 +366,7 @@ impl<I: Iterator<Item = Result<BranchRecord>>> ChunkedTraceReader<I> {
             next_chunk: 0,
             records_read: 0,
             finished: false,
+            spare: None,
         }
     }
 
@@ -296,7 +417,8 @@ impl<I: Iterator<Item = Result<BranchRecord>>> Iterator for ChunkedTraceReader<I
         if self.finished {
             return None;
         }
-        // Size the chunk buffer up front (capped so a huge chunk_records
+        // Fill recycled buffers when a consumer handed some back; otherwise
+        // size the chunk buffer up front (capped so a huge chunk_records
         // bound or a lying header cannot force a giant allocation).
         let expected = match self.declared {
             Some(declared) => declared
@@ -304,24 +426,22 @@ impl<I: Iterator<Item = Result<BranchRecord>>> Iterator for ChunkedTraceReader<I
                 .min(self.chunk_records as u64) as usize,
             None => self.chunk_records,
         };
-        let mut records = Vec::with_capacity(expected.min(1 << 20));
-        let mut conditional = Vec::new();
+        let mut chunk = self.spare.take().unwrap_or_else(TraceChunk::empty);
+        chunk.clear();
+        chunk.records.reserve(expected.min(1 << 20));
         let mut exhausted = false;
-        while records.len() < self.chunk_records {
+        while chunk.records.len() < self.chunk_records {
             match self.source.next() {
                 Some(Ok(record)) => {
                     if record.kind().is_conditional() {
                         let id = self.interner.intern(record.addr());
-                        conditional.push(InternedRecord::new(
-                            record.addr(),
-                            id,
-                            record.outcome().is_taken(),
-                        ));
+                        chunk.push_conditional(record.addr(), id, record.outcome().is_taken());
                     }
-                    records.push(record);
+                    chunk.records.push(record);
                 }
                 Some(Err(e)) => {
                     self.finished = true;
+                    self.spare = Some(chunk);
                     return Some(Err(e));
                 }
                 None => {
@@ -331,11 +451,12 @@ impl<I: Iterator<Item = Result<BranchRecord>>> Iterator for ChunkedTraceReader<I
             }
         }
         let first_record = self.records_read;
-        self.records_read += records.len() as u64;
+        self.records_read += chunk.records.len() as u64;
         if exhausted {
             self.finished = true;
             if let Some(declared) = self.declared {
                 if declared != self.records_read {
+                    self.spare = Some(chunk);
                     return Some(Err(TraceError::CountMismatch {
                         declared,
                         actual: self.records_read,
@@ -343,17 +464,24 @@ impl<I: Iterator<Item = Result<BranchRecord>>> Iterator for ChunkedTraceReader<I
                 }
             }
         }
-        if records.is_empty() {
+        if chunk.records.is_empty() {
+            self.spare = Some(chunk);
             return None;
         }
-        let chunk = TraceChunk {
-            index: self.next_chunk,
-            first_record,
-            records,
-            conditional,
-        };
+        chunk.index = self.next_chunk;
+        chunk.first_record = first_record;
         self.next_chunk += 1;
         Some(Ok(chunk))
+    }
+}
+
+impl<I: Iterator<Item = Result<BranchRecord>>> ChunkStream for ChunkedTraceReader<I> {
+    fn pull(&mut self) -> Option<Result<TraceChunk>> {
+        self.next()
+    }
+
+    fn recycle(&mut self, chunk: TraceChunk) {
+        self.spare = Some(chunk);
     }
 }
 
@@ -423,7 +551,7 @@ mod tests {
             let mut reader = ChunkedTraceReader::btrt(buf.as_slice(), chunk_records).unwrap();
             let mut streamed = Vec::new();
             for chunk in &mut reader {
-                streamed.extend_from_slice(chunk.unwrap().conditional());
+                streamed.extend(chunk.unwrap().conditional());
             }
             assert_eq!(streamed.as_slice(), eager.records(), "size {chunk_records}");
             assert_eq!(reader.addrs(), eager.addrs());

@@ -200,6 +200,82 @@ impl TraceStats {
     }
 }
 
+/// Id-indexed statistics accumulator for streamed classification.
+///
+/// [`TraceStats::observe`] pays a `BTreeMap` traversal per record, which
+/// co-dominates a streamed classify once decode is fast. `DenseTraceStats`
+/// keeps one [`AddrStats`] slot per dense interned id instead — chunk columns
+/// feed straight into a flat vector index — and converts to the map-keyed
+/// [`TraceStats`] once at the end. Because each static branch sees exactly
+/// the same outcome sequence either way, the conversion is bit-identical to
+/// having observed every record through [`TraceStats`] directly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseTraceStats {
+    /// Per-id accumulators; the id → address table is rebuilt from the
+    /// defining (first-appearance) records.
+    per_id: Vec<AddrStats>,
+    addrs: Vec<BranchAddr>,
+    total_conditional: u64,
+    total_other: u64,
+}
+
+impl DenseTraceStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        DenseTraceStats::default()
+    }
+
+    /// Folds one chunk's records in: conditionals through the id-indexed
+    /// columns, non-conditionals as an aggregate count.
+    ///
+    /// Chunks must arrive in stream order with ids assigned by one persistent
+    /// interner (what [`crate::ChunkedTraceReader`] and
+    /// [`crate::FastBtrtReader`] produce) — a dense id first appears on its
+    /// defining record.
+    pub fn observe_chunk(&mut self, chunk: &crate::TraceChunk) {
+        let cond = chunk.cond_len();
+        self.total_conditional += cond as u64;
+        self.total_other += (chunk.len() - cond) as u64;
+        for ((&addr, &id), &taken) in chunk
+            .cond_addrs()
+            .iter()
+            .zip(chunk.cond_ids())
+            .zip(chunk.cond_taken())
+        {
+            let id = id as usize;
+            if id == self.per_id.len() {
+                self.per_id.push(AddrStats::new());
+                self.addrs.push(addr);
+            }
+            self.per_id[id].observe(Outcome::from_bool(taken));
+        }
+    }
+
+    /// Total number of dynamic conditional branches observed.
+    pub fn total_conditional(&self) -> u64 {
+        self.total_conditional
+    }
+
+    /// Total number of non-conditional control transfers observed.
+    pub fn total_other(&self) -> u64 {
+        self.total_other
+    }
+
+    /// Number of distinct static conditional branches.
+    pub fn static_conditional_count(&self) -> usize {
+        self.per_id.len()
+    }
+
+    /// Converts to the address-keyed [`TraceStats`], building the map once.
+    pub fn into_trace_stats(self) -> TraceStats {
+        TraceStats {
+            per_addr: self.addrs.into_iter().zip(self.per_id).collect(),
+            total_conditional: self.total_conditional,
+            total_other: self.total_other,
+        }
+    }
+}
+
 impl<'a> IntoIterator for &'a TraceStats {
     type Item = (BranchAddr, &'a AddrStats);
     type IntoIter = std::vec::IntoIter<(BranchAddr, &'a AddrStats)>;

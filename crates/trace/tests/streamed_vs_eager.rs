@@ -6,8 +6,8 @@
 
 use btr_trace::io::{binary, text};
 use btr_trace::{
-    BranchAddr, BranchKind, BranchRecord, ChunkedTraceReader, InternedRecord, Outcome, Trace,
-    TraceMetadata,
+    BranchAddr, BranchKind, BranchRecord, ChunkedTraceReader, FastBtrtReader, InternedRecord,
+    Outcome, Trace, TraceMetadata,
 };
 use proptest::prelude::*;
 
@@ -66,7 +66,7 @@ fn drain<I: Iterator<Item = btr_trace::Result<BranchRecord>>>(
         assert_eq!(chunk.index(), expected_index);
         assert_eq!(chunk.first_record(), records.len() as u64);
         assert!(!chunk.is_empty(), "readers never yield empty chunks");
-        conditional.extend_from_slice(chunk.conditional());
+        conditional.extend(chunk.conditional());
         records.extend(chunk.into_records());
     }
     let addrs = reader.addrs().to_vec();
@@ -158,6 +158,21 @@ type Drained = (Vec<BranchRecord>, Vec<InternedRecord>, Vec<BranchAddr>);
 
 fn drain_btrt<R: Read>(reader: R, chunk_records: usize) -> Drained {
     drain(ChunkedTraceReader::btrt(reader, chunk_records).expect("header must decode"))
+}
+
+/// Drains the slice fast path the same way, so every property below can pin
+/// it against the generic-`Read` reference in passing.
+fn drain_fast<R: Read>(reader: R, chunk_records: usize) -> Drained {
+    let mut reader = FastBtrtReader::new(reader, chunk_records).expect("header must decode");
+    let mut records = Vec::new();
+    let mut conditional = Vec::new();
+    for chunk in &mut reader {
+        let chunk = chunk.expect("well-formed stream must decode");
+        conditional.extend(chunk.conditional());
+        records.extend(chunk.into_records());
+    }
+    let addrs = reader.addrs().to_vec();
+    (records, conditional, addrs)
 }
 
 /// A characteristic trace for the deterministic adversarial tests: mixes
@@ -292,6 +307,10 @@ proptest! {
         prop_assert_eq!(&trickled, &oneshot);
         let interrupted = drain_btrt(InterruptingReader::new(&buf, max), 7);
         prop_assert_eq!(&interrupted, &oneshot);
+        let fast_trickled = drain_fast(TrickleReader { data: &buf, max }, 7);
+        prop_assert_eq!(&fast_trickled, &oneshot);
+        let fast_interrupted = drain_fast(InterruptingReader::new(&buf, max), 7);
+        prop_assert_eq!(&fast_interrupted, &oneshot);
     }
 }
 
@@ -308,6 +327,8 @@ proptest! {
             prop_assert_eq!(reader.declared_count(), Some(trace.len() as u64));
             let (records, _, _) = drain(reader);
             prop_assert_eq!(records.as_slice(), eager.records(), "chunk size {}", chunk_records);
+            let (fast_records, _, _) = drain_fast(buf.as_slice(), chunk_records);
+            prop_assert_eq!(fast_records.as_slice(), eager.records(), "fast, chunk size {}", chunk_records);
         }
     }
 
@@ -321,6 +342,9 @@ proptest! {
             let (_, conditional, addrs) = drain(reader);
             prop_assert_eq!(conditional.as_slice(), eager.records(), "chunk size {}", chunk_records);
             prop_assert_eq!(addrs.as_slice(), eager.addrs(), "chunk size {}", chunk_records);
+            let (_, fast_conditional, fast_addrs) = drain_fast(buf.as_slice(), chunk_records);
+            prop_assert_eq!(fast_conditional.as_slice(), eager.records(), "fast, chunk size {}", chunk_records);
+            prop_assert_eq!(fast_addrs.as_slice(), eager.addrs(), "fast, chunk size {}", chunk_records);
         }
     }
 

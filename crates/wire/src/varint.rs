@@ -41,6 +41,51 @@ pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<(), WireError> {
     }
 }
 
+/// The canonical-varint state machine shared by every decoder in the
+/// workspace: the `Read`-based [`read_varint`] (`BTRW` values, the `BTRT`
+/// slow path) and the slice-based [`read_varint_slice`] (the `BTRT` block
+/// decoder) both feed bytes through [`VarintAccum::push`], so the
+/// canonicality rules — and the exact error messages they produce — cannot
+/// drift between paths.
+#[derive(Debug, Default)]
+struct VarintAccum {
+    value: u64,
+    shift: u32,
+}
+
+impl VarintAccum {
+    /// Feeds one byte: `Ok(Some(value))` on the terminal byte, `Ok(None)` if
+    /// more bytes must follow.
+    #[inline]
+    fn push(&mut self, byte: u8, context: &'static str) -> Result<Option<u64>, WireError> {
+        let payload = byte & 0x7f;
+        // The tenth byte lands at shift 63: only the lowest payload bit fits
+        // in a u64, so anything above it would be silently discarded by the
+        // shift — reject instead of corrupting.
+        if self.shift == 63 && payload > 1 {
+            return Err(WireError::schema(format!(
+                "varint overflows 64 bits while reading {context}"
+            )));
+        }
+        self.value |= u64::from(payload) << self.shift;
+        if byte & 0x80 == 0 {
+            if payload == 0 && self.shift > 0 {
+                return Err(WireError::schema(format!(
+                    "non-minimal varint (trailing zero byte) while reading {context}"
+                )));
+            }
+            return Ok(Some(self.value));
+        }
+        self.shift += 7;
+        if self.shift >= 64 {
+            return Err(WireError::schema(format!(
+                "varint longer than 64 bits while reading {context}"
+            )));
+        }
+        Ok(None)
+    }
+}
+
 /// Reads one canonical LEB128 varint.
 ///
 /// # Errors
@@ -50,8 +95,7 @@ pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<(), WireError> {
 /// multi-byte varint ending in a zero byte denotes the same value as a
 /// shorter one).
 pub fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64, WireError> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
+    let mut accum = VarintAccum::default();
     loop {
         let mut byte = [0u8; 1];
         // Retry `ErrorKind::Interrupted` like `Read::read_exact` does: on
@@ -67,31 +111,43 @@ pub fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64, Wir
         if n == 0 {
             return Err(WireError::UnexpectedEof { context });
         }
-        let payload = byte[0] & 0x7f;
-        // The tenth byte lands at shift 63: only the lowest payload bit fits
-        // in a u64, so anything above it would be silently discarded by the
-        // shift — reject instead of corrupting.
-        if shift == 63 && payload > 1 {
-            return Err(WireError::schema(format!(
-                "varint overflows 64 bits while reading {context}"
-            )));
-        }
-        value |= u64::from(payload) << shift;
-        if byte[0] & 0x80 == 0 {
-            if payload == 0 && shift > 0 {
-                return Err(WireError::schema(format!(
-                    "non-minimal varint (trailing zero byte) while reading {context}"
-                )));
-            }
+        if let Some(value) = accum.push(byte[0], context)? {
             return Ok(value);
         }
-        shift += 7;
-        if shift >= 64 {
-            return Err(WireError::schema(format!(
-                "varint longer than 64 bits while reading {context}"
-            )));
+    }
+}
+
+/// Decodes one canonical LEB128 varint from the front of a byte slice,
+/// returning the value and the number of bytes it occupied.
+///
+/// This is the block-decoder primitive behind the `BTRT` fast path: where
+/// [`read_varint`] issues one `Read::read` call per byte, this reads straight
+/// from an in-memory slice with a single-byte fast path (the common case for
+/// delta-encoded branch addresses). Canonicality rules and error messages are
+/// identical to [`read_varint`] — both feed the same [`VarintAccum`] — which
+/// `tests/proptest_codecs.rs` pins by decoding random byte strings through
+/// both and comparing outcomes.
+///
+/// # Errors
+///
+/// Exactly [`read_varint`]'s failures; a varint running past the end of the
+/// slice is [`WireError::UnexpectedEof`].
+#[inline]
+pub fn read_varint_slice(bytes: &[u8], context: &'static str) -> Result<(u64, usize), WireError> {
+    // Single-byte fast path: no continuation bit means the byte is the value
+    // (and a lone byte is always minimal).
+    match bytes.first() {
+        Some(&b0) if b0 & 0x80 == 0 => return Ok((u64::from(b0), 1)),
+        Some(_) => {}
+        None => return Err(WireError::UnexpectedEof { context }),
+    }
+    let mut accum = VarintAccum::default();
+    for (used, &byte) in bytes.iter().enumerate() {
+        if let Some(value) = accum.push(byte, context)? {
+            return Ok((value, used + 1));
         }
     }
+    Err(WireError::UnexpectedEof { context })
 }
 
 #[cfg(test)]
@@ -191,6 +247,37 @@ mod tests {
         };
         let err = read_varint(&mut r, "tail").unwrap_err();
         assert!(matches!(err, WireError::UnexpectedEof { context: "tail" }));
+    }
+
+    #[test]
+    fn slice_decoder_matches_the_reader_on_canonical_encodings() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 21, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+            // Trailing garbage must be left untouched by the slice decoder.
+            let len = buf.len();
+            buf.extend_from_slice(&[0xaa, 0xbb]);
+            let (value, used) = read_varint_slice(&buf, "slice").expect("canonical varint decodes");
+            assert_eq!(value, v);
+            assert_eq!(used, len);
+        }
+    }
+
+    #[test]
+    fn slice_decoder_rejects_what_the_reader_rejects() {
+        // Truncation (empty and mid-varint), overflow, over-length, padding.
+        for bad in [
+            &[][..],
+            &[0x80],
+            &[0xff; 10],
+            &[0x80; 11],
+            &[0x80, 0x00],
+            &[0xff, 0x00],
+        ] {
+            let via_slice = read_varint_slice(bad, "ctx").expect_err("bad varint rejected");
+            let via_read = read_varint(&mut &bad[..], "ctx").expect_err("bad varint rejected");
+            assert_eq!(via_slice.to_string(), via_read.to_string(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -226,3 +226,49 @@ proptest! {
         let _ = json::from_str(&String::from_utf8_lossy(&bytes));
     }
 }
+
+// The BTRT fast path decodes varints from in-memory blocks with
+// `read_varint_slice` while the slow path (and BTRW) go through the
+// `Read`-based `read_varint`. Both must accept exactly the canonical
+// encodings and reject everything else with the *same* error, or the
+// fast/slow equivalence suite in `btr-trace` loses its foundation.
+proptest! {
+    #[test]
+    fn slice_and_reader_varints_agree_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let mut cursor = &bytes[..];
+        let via_read = btr_wire::varint::read_varint(&mut cursor, "prop");
+        let via_slice = btr_wire::varint::read_varint_slice(&bytes, "prop");
+        match (via_read, via_slice) {
+            (Ok(read_value), Ok((slice_value, used))) => {
+                prop_assert_eq!(read_value, slice_value);
+                // The reader consumed exactly the bytes the slice decoder
+                // claims the varint occupied.
+                prop_assert_eq!(bytes.len() - cursor.len(), used);
+            }
+            (Err(read_err), Err(slice_err)) => {
+                prop_assert_eq!(read_err.to_string(), slice_err.to_string());
+            }
+            (read, slice) => {
+                return Err(TestCaseError::fail(format!(
+                    "decoders disagree: reader {read:?} vs slice {slice:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn slice_decoder_roundtrips_canonical_encodings(value in any::<u64>()) {
+        let mut encoded = Vec::new();
+        btr_wire::varint::write_varint(&mut encoded, value)
+            .expect("writing to a Vec cannot fail");
+        let len = encoded.len();
+        // Trailing bytes must not disturb the decode or the reported width.
+        encoded.extend_from_slice(&[0x80, 0xff, 0x00]);
+        let (decoded, used) = btr_wire::varint::read_varint_slice(&encoded, "prop")
+            .expect("canonical varint decodes");
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(used, len);
+    }
+}

@@ -69,14 +69,18 @@ def load(path):
 def check_ratio_floors(rates, constraints):
     """Verifies every in-run ratio floor against the current file's rates.
 
-    Returns the list of violation strings (empty when all floors hold).
+    Prints an aligned summary table pairing each constraint's measured ratio
+    with its declared floor, and returns the list of violation strings
+    (empty when all floors hold).
     """
     violations = []
+    rows = []
     for bench_id, ref, min_ratio in constraints:
         num = rates.get(bench_id)
         den = rates.get(ref)
         if num is None or den is None:
             missing = bench_id if num is None else ref
+            rows.append((f"{bench_id} / {ref}", None, min_ratio, "MISSING"))
             violations.append(
                 f"{bench_id} >= {min_ratio}x {ref}: measurement for "
                 f"'{missing}' missing from the current file"
@@ -84,15 +88,45 @@ def check_ratio_floors(rates, constraints):
             continue
         ratio = num / den
         status = "OK" if ratio >= min_ratio else "BELOW FLOOR"
-        print(
-            f"  ratio {bench_id} / {ref} = {ratio:.2f}x "
-            f"(floor {min_ratio}x)  {status}"
-        )
+        rows.append((f"{bench_id} / {ref}", ratio, min_ratio, status))
         if ratio < min_ratio:
             violations.append(
                 f"{bench_id} at {ratio:.2f}x of {ref}, floor is {min_ratio}x"
             )
+    print_constraint_table(rows)
     return violations
+
+
+def print_constraint_table(rows):
+    """Prints the aligned in-run ratio-floor table.
+
+    `rows` is a list of (constraint, measured, floor, status) with `measured`
+    possibly None (a side of the ratio missing from the current file).
+    """
+    headers = ("constraint", "measured", "floor", "status")
+    rendered = [
+        (
+            constraint,
+            f"{measured:.2f}x" if measured is not None else "-",
+            f">={floor}x",
+            status,
+        )
+        for constraint, measured, floor, status in rows
+    ]
+    widths = [
+        max(len(headers[col]), max((len(r[col]) for r in rendered), default=0))
+        for col in range(len(headers))
+    ]
+
+    def line(cells):
+        out = [cells[0].ljust(widths[0])]
+        out += [cells[col].rjust(widths[col]) for col in range(1, len(cells))]
+        return "  " + "  ".join(out)
+
+    print(line(headers))
+    print(line(tuple("-" * w for w in widths)))
+    for row in rendered:
+        print(line(row))
 
 
 def print_table(rows):
